@@ -1,0 +1,23 @@
+"""Figure 10: flip destinations for K-LHR and K-FRA."""
+
+from repro.core import flip_destinations
+
+
+def test_fig10_flip_destinations(benchmark, cleaned):
+    event1 = (6.8, 9.5)
+    dest_lhr = benchmark(
+        flip_destinations, cleaned, "K", "LHR", event1
+    )
+    dest_fra = flip_destinations(cleaned, "K", "FRA", event1)
+    print()
+    for origin, dest in (("K-LHR", dest_lhr), ("K-FRA", dest_fra)):
+        total = sum(dest.values())
+        print(f"  {origin} VPs during event 1:")
+        for site, count in dest.most_common():
+            print(f"    -> {site:<18} {count:>4}  ({count / total:.0%})")
+    print("  paper: 70-80% of shifting VPs land on K-AMS, then return")
+    moved = {
+        s: c for s, c in dest_lhr.items()
+        if "stuck" not in s and s != "(no reply)"
+    }
+    assert moved.get("K-AMS", 0) / max(sum(moved.values()), 1) > 0.5

@@ -1,0 +1,30 @@
+"""Figure 11: per-VP site timelines and behaviour groups."""
+
+import numpy as np
+
+from repro.core import behaviour_census, vp_timelines
+from repro.util import EVENT_1
+
+_GLYPH = {"LHR": "L", "FRA": "F", "AMS": "A", None: "."}
+
+
+def test_fig11_vp_timelines(benchmark, cleaned):
+    timelines = benchmark(
+        vp_timelines, cleaned, "K", ["LHR", "FRA"], EVENT_1, 300,
+        np.random.default_rng(0),
+    )
+    census = behaviour_census(timelines)
+    print()
+    print("  behaviour census of K-LHR/K-FRA VPs around event 1:")
+    for behavior, count in census.most_common():
+        print(f"    {behavior:<14} {count:>4}")
+    print("  paper groups: stuck / shift+return / shift+stay / failed")
+    # Render a few rows like Fig. 11 (one char per bin).
+    print("  sample timelines (L=LHR F=FRA A=AMS *=other .=no reply):")
+    for timeline in timelines[:8]:
+        row = "".join(
+            _GLYPH.get(site, "*") for site in timeline.sites[:144]
+        )
+        print(f"    vp{timeline.vp_id:<6} {timeline.behavior:<13} {row}")
+    assert census.get("shift+return", 0) > 0
+    assert census.get("stuck", 0) > 0

@@ -1,0 +1,24 @@
+"""Figure 12: per-server reachability at K-FRA and K-NRT."""
+
+from repro.core import (
+    answering_servers_per_bin,
+    server_reachability,
+    shed_detected,
+)
+
+
+def test_fig12_k_fra_shed(benchmark, cleaned):
+    figure = benchmark(server_reachability, cleaned, "K", "FRA")
+    print()
+    print(figure.render())
+    print("  paper: replies collapse onto one (different) server per event")
+    assert shed_detected(cleaned, "K", "FRA", (6.8, 9.5))
+
+
+def test_fig12_k_nrt_all_degrade(benchmark, cleaned):
+    figure = benchmark(server_reachability, cleaned, "K", "NRT")
+    print()
+    print(figure.render())
+    series = answering_servers_per_bin(cleaned, "K", "NRT")
+    print("  paper: all three K-NRT servers answer, degraded")
+    assert series.at_hour(8.0) >= 2

@@ -1,0 +1,20 @@
+"""Figure 13: per-server median RTT at K-FRA and K-NRT."""
+
+from repro.core import server_rtt_series
+
+
+def test_fig13_k_fra(benchmark, cleaned):
+    figure = benchmark(server_rtt_series, cleaned, "K", "FRA")
+    print()
+    print(figure.render())
+    print("  paper: K-FRA's surviving server keeps stable latency")
+
+
+def test_fig13_k_nrt(benchmark, cleaned):
+    figure = benchmark(server_rtt_series, cleaned, "K", "NRT")
+    print()
+    print(figure.render())
+    print("  paper: K-NRT queues deeply; K-NRT-S2 worse than siblings")
+    hot = figure.get("K-NRT-S2")
+    cool = figure.get("K-NRT-S1")
+    assert hot.at_hour(8.0) > cool.at_hour(8.0)

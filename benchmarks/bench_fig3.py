@@ -1,0 +1,30 @@
+"""Figure 3: per-letter reachability, plus the section-3.2.1 R^2."""
+
+from repro.core import (
+    correlation_table,
+    reachability_figure,
+    sites_vs_resilience,
+    worst_responsiveness,
+)
+from repro.rootdns import LETTERS_SPEC
+
+
+def test_fig3_reachability(benchmark, cleaned):
+    figure = benchmark(reachability_figure, cleaned)
+    print()
+    print(figure.render())
+    worst = {L: worst_responsiveness(cleaned, L) for L in cleaned.letters}
+    print("  worst/median per letter:",
+          {L: round(w, 2) for L, w in sorted(worst.items())})
+    print("  paper: B worst (unicast), then H; D/L/M flat")
+    assert worst["B"] < worst["K"] < worst["L"]
+
+
+def test_fig3_sites_vs_resilience_fit(benchmark, cleaned):
+    site_counts = {L: s.n_sites for L, s in LETTERS_SPEC.items()}
+    fit = benchmark(sites_vs_resilience, cleaned, site_counts)
+    print()
+    print(correlation_table(fit).render())
+    print("  paper: R^2 = 0.87 between site count and responsiveness")
+    assert fit.slope > 0
+    assert fit.r_squared > 0.5

@@ -1,0 +1,18 @@
+"""Figure 4: per-letter median RTT of successful queries."""
+
+from repro.core import rtt_figure, rtt_significantly_changed
+
+
+def test_fig4_letter_rtt(benchmark, cleaned):
+    changed = [
+        L for L in sorted(cleaned.letters)
+        if rtt_significantly_changed(cleaned, L)
+    ]
+    figure = benchmark(rtt_figure, cleaned, changed)
+    print()
+    print(figure.render())
+    print("  letters with significant RTT change:", changed)
+    print("  paper: B, C, G, H, K change; A/D/E/F/I/J/L/M omitted")
+    assert "H" in changed
+    assert "K" in changed
+    assert "L" not in changed

@@ -1,0 +1,20 @@
+"""Figure 6: per-site catchment time series, E- and K-Root."""
+
+from repro.core import critical_episodes, site_timeseries
+
+
+def test_fig6_e_root(benchmark, cleaned):
+    bundle = benchmark(site_timeseries, cleaned, "E", True)
+    print()
+    print(bundle.render())
+    print("  paper: five E sites shut down after the Dec 1 event")
+
+
+def test_fig6_k_root(benchmark, cleaned):
+    bundle = benchmark(site_timeseries, cleaned, "K", True)
+    print()
+    print(bundle.render())
+    episodes = critical_episodes(cleaned, "K")
+    critical = sorted(s for s, mask in episodes.items() if mask.any())
+    print("  sites with critical (below-half-median) episodes:", critical)
+    assert any(s.startswith("K-LHR") for s in critical)

@@ -1,0 +1,17 @@
+"""Figure 7: median RTT for stressed K-Root sites."""
+
+import numpy as np
+
+from repro.core import site_rtt_figure
+
+
+def test_fig7_k_site_rtt(benchmark, cleaned):
+    figure = benchmark(
+        site_rtt_figure, cleaned, "K", ["AMS", "NRT", "LHR", "FRA"]
+    )
+    print()
+    print(figure.render())
+    print("  paper: K-AMS ~30 ms to 1-2 s; K-NRT 80 ms to 1-1.7 s")
+    ams = figure.get("K-AMS")
+    assert float(np.nanmax(ams.values)) > 800.0
+    assert ams.at_hour(20.0) < 150.0

@@ -1,0 +1,42 @@
+"""Section 2.2: the withdraw-vs-absorb policy space."""
+
+import numpy as np
+
+from repro.core import (
+    best_withdrawal,
+    classify_case,
+    default_assignment,
+    expected_happiness,
+    figure2_model,
+    happiness,
+    optimal_assignment,
+)
+
+
+def _sweep():
+    rows = []
+    for a in np.linspace(0.25, 12.0, 48):
+        model = figure2_model(a, a)
+        case = classify_case(a, a)
+        do_nothing = happiness(model, default_assignment(model))
+        _, withdraw = best_withdrawal(model)
+        _, optimal = optimal_assignment(model)
+        rows.append((float(a), case, do_nothing, withdraw, optimal))
+    return rows
+
+
+def test_policy_sweep(benchmark):
+    rows = benchmark(_sweep)
+    print()
+    print("  A0=A1   case  absorb  withdraw  optimal (expected)")
+    last_case = None
+    for a, case, nothing, withdraw, optimal in rows:
+        if case != last_case:
+            print(
+                f"  {a:5.2f}    {case}      {nothing}        {withdraw}"
+                f"        {optimal} ({expected_happiness(case)})"
+            )
+            last_case = case
+    for a, case, nothing, withdraw, optimal in rows:
+        assert optimal == expected_happiness(case)
+        assert nothing <= withdraw <= optimal

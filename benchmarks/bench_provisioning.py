@@ -1,0 +1,29 @@
+"""Provisioning analysis: §5's capacity-vs-placement point.
+
+Computes, from the simulated event, the upgrade plan each letter
+would have needed to absorb its observed peak loads -- and contrasts
+aggregate utilisation against the worst single site.
+"""
+
+from repro.defense import (
+    aggregate_vs_placed,
+    provisioning_plan,
+    provisioning_table,
+)
+
+
+def test_provisioning_k_root(benchmark, scenario):
+    plan = benchmark(
+        provisioning_plan, scenario.deployments["K"], scenario.truth["K"]
+    )
+    print()
+    print(provisioning_table(plan).render())
+    aggregate, worst = aggregate_vs_placed(
+        scenario.deployments["K"], scenario.truth["K"]
+    )
+    print(f"  peak aggregate utilisation: {aggregate:.2f}")
+    print(f"  worst single-site utilisation: {worst:.2f}")
+    print("  paper §5: aggregate capacity is not enough when attackers")
+    print("  are unevenly distributed across catchments")
+    assert worst > aggregate
+    assert plan.total_extra_servers > 0

@@ -1,0 +1,44 @@
+"""Substrate performance: BGP propagation and the full event engine."""
+
+import numpy as np
+
+from repro import ScenarioConfig, simulate
+from repro.netsim import (
+    Origin,
+    Scope,
+    TopologyConfig,
+    build_topology,
+    propagate,
+)
+from repro.util import airport
+
+
+def test_bgp_propagation_speed(benchmark):
+    topo = build_topology(TopologyConfig(n_stubs=1000),
+                          np.random.default_rng(0))
+    origins = []
+    for code in (("AMS", "LHR", "FRA", "IAD", "NRT", "SYD")):
+        asn = topo.add_site_host(
+            f"X-{code}", airport(code).location, scope=Scope.GLOBAL
+        )
+        origins.append(
+            Origin(site=code, asn=asn, location=airport(code).location)
+        )
+    table = benchmark(propagate, topo.graph, origins)
+    assert len(table) > 1000
+    print()
+    print(f"  propagated over {len(topo.graph)} ASes; "
+          f"{len(table)} hold routes")
+
+
+def test_full_scenario_speed(benchmark):
+    result = benchmark.pedantic(
+        lambda: simulate(
+            ScenarioConfig(seed=1, n_stubs=200, n_vps=300,
+                           letters=("B", "K"), include_nl=False)
+        ),
+        rounds=3, iterations=1,
+    )
+    assert result.atlas.letter("K").n_bins == 288
+    print()
+    print("  two-day, two-letter scenario on 200 stub ASes / 300 VPs")

@@ -1,0 +1,15 @@
+"""Table 2: sites per letter, deployed vs observed from the VPs."""
+
+from repro.core import observed_sites_table
+from repro.rootdns import LETTERS_SPEC
+
+
+def test_table2_observed_sites(benchmark, cleaned):
+    table = benchmark(observed_sites_table, cleaned)
+    print()
+    print(table.render())
+    print("  paper reported sites:",
+          {L: s.reported_sites for L, s in sorted(LETTERS_SPEC.items())})
+    # Sanity: observed never exceeds deployed; both positive.
+    for row in table.rows:
+        assert 0 < row[2] <= row[1]

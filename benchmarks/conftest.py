@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures: one reference scenario per session.
+
+The benchmark scenario is larger than the test one (1500 VPs over 600
+stub ASes) so per-site statistics are stable; it still simulates in
+well under a minute.  Every bench prints the table/figure it
+regenerates, so a ``pytest benchmarks/ --benchmark-only -s`` run doubles
+as the experiment log behind EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro import ScenarioConfig, simulate
+from repro.core import clean_dataset
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    """The reference Nov/Dec 2015 scenario used by all benches."""
+    return simulate(ScenarioConfig(seed=42, n_stubs=600, n_vps=1500))
+
+
+@pytest.fixture(scope="session")
+def cleaned(scenario):
+    """The cleaned Atlas dataset (section 2.4.1 pipeline applied)."""
+    dataset, _ = clean_dataset(scenario.atlas)
+    return dataset

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Explore the section-2.2 policy space: withdraw vs absorb.
+
+Sweeps attack strength through the paper's five cases and compares
+three defender postures on the Figure-2 deployment:
+
+* absorb -- do nothing, let BGP's default catchments stand;
+* withdraw -- pick the best set of sites to take offline;
+* re-route -- full control over where each upstream lands.
+
+Then it builds a larger custom deployment to show the same structure
+holds beyond the toy example.
+"""
+
+import numpy as np
+
+from repro.core import (
+    AnycastModel,
+    LinkGroup,
+    best_withdrawal,
+    classify_case,
+    default_assignment,
+    expected_happiness,
+    figure2_model,
+    happiness,
+    optimal_assignment,
+)
+
+
+def sweep_paper_model() -> None:
+    print("Figure-2 deployment (s1 = s2 = 1, S3 = 10), A0 = A1 = a")
+    print()
+    print("      a  case   absorb  withdraw  re-route  (paper H)")
+    for a in np.linspace(0.25, 12.0, 24):
+        model = figure2_model(a, a)
+        case = classify_case(a, a)
+        absorb = happiness(model, default_assignment(model))
+        withdrawn, withdraw = best_withdrawal(model)
+        _, optimal = optimal_assignment(model)
+        note = f"withdraw {sorted(withdrawn)}" if withdrawn else ""
+        print(
+            f"  {a:5.2f}     {case}        {absorb}         {withdraw}"
+            f"         {optimal}        ({expected_happiness(case)})  {note}"
+        )
+    print()
+    print("cases 2-3: withdrawing can serve everyone ('less is more');")
+    print("case 4: only a targeted re-route saves the third client;")
+    print("case 5: absorb and contain -- no strategy saves s1's clients.")
+
+
+def custom_deployment() -> None:
+    print()
+    print("a 5-site continental deployment under a concentrated attack:")
+    model = AnycastModel(
+        capacities={
+            "ams": 3.0, "lhr": 1.0, "fra": 1.0, "iad": 2.0, "nrt": 1.0,
+        },
+        groups=(
+            LinkGroup("eu-isp-1", attack=2.5, clients=3,
+                      site_options=("lhr", "ams", "fra")),
+            LinkGroup("eu-isp-2", attack=0.4, clients=2,
+                      site_options=("fra", "ams")),
+            LinkGroup("us-isp", attack=0.8, clients=3,
+                      site_options=("iad", "ams")),
+            LinkGroup("apnic-isp", attack=1.8, clients=2,
+                      site_options=("nrt", "iad")),
+        ),
+    )
+    absorb = happiness(model, default_assignment(model))
+    withdrawn, withdraw_h = best_withdrawal(model)
+    assignment, optimal = optimal_assignment(model)
+    print(f"  absorb (status quo):      H = {absorb}/{model.total_clients}")
+    print(
+        f"  best withdrawal {sorted(withdrawn)}: "
+        f"H = {withdraw_h}/{model.total_clients}"
+    )
+    print(f"  full routing control:     H = {optimal}/{model.total_clients}")
+    for group, site in assignment.items():
+        print(f"    {group} -> {site}")
+
+
+def main() -> None:
+    sweep_paper_model()
+    custom_deployment()
+
+
+if __name__ == "__main__":
+    main()

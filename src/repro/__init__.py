@@ -1,0 +1,38 @@
+"""Reproduction of "Anycast vs. DDoS: Evaluating the November 2015
+Root DNS Event" (IMC 2016).
+
+The package simulates every substrate the paper's measurement study
+depends on -- BGP anycast routing, the 13 root letter deployments, the
+botnet events of 2015-11-30/12-01, RIPE-Atlas-style probing, RSSAC-002
+reporting, and BGPmon collectors -- and reimplements the paper's full
+analysis pipeline over the resulting data.
+
+Quick start::
+
+    from repro import ScenarioConfig, simulate
+    from repro.core import reachability_figure
+
+    result = simulate(ScenarioConfig(seed=42, n_stubs=400, n_vps=800))
+    print(reachability_figure(result.atlas).render())
+"""
+
+from .scenario import (
+    ScenarioConfig,
+    ScenarioResult,
+    june2016_config,
+    nov2015_config,
+    quiet_config,
+    simulate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ScenarioConfig",
+    "ScenarioResult",
+    "__version__",
+    "june2016_config",
+    "nov2015_config",
+    "quiet_config",
+    "simulate",
+]

@@ -1,0 +1,23 @@
+"""RIPE-Atlas-style measurement platform simulation."""
+
+from .probelevel import BOGUS_ANSWER, to_probe_records
+from .probing import (
+    BASELINE_FAILURE_PROB,
+    ERROR_GIVEN_FAILURE,
+    HIJACK_RTT_MS,
+    LetterProber,
+    SiteBinConditions,
+)
+from .vps import VpPopulationConfig, build_vps
+
+__all__ = [
+    "BASELINE_FAILURE_PROB",
+    "BOGUS_ANSWER",
+    "ERROR_GIVEN_FAILURE",
+    "HIJACK_RTT_MS",
+    "LetterProber",
+    "SiteBinConditions",
+    "VpPopulationConfig",
+    "build_vps",
+    "to_probe_records",
+]

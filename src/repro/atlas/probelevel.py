@@ -1,0 +1,114 @@
+"""Probe-level record generation (the raw RIPE Atlas result shape).
+
+The binned matrices of :mod:`repro.datasets.observations` are the
+analysis-ready form, but real Atlas data arrives as individual probe
+results: one CHAOS query per VP per probing interval, carrying the raw
+TXT answer string.  This module expands binned observations back into
+that raw shape -- used by the cleaning/binning pipeline tests (which
+must parse identities and apply the paper's bin-preference rule) and
+by the NDJSON export examples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..datasets.io import ProbeRecord
+from ..datasets.observations import (
+    RESP_BOGUS,
+    RESP_ERROR,
+    RESP_NOT_PROBED,
+    RESP_TIMEOUT,
+    AtlasDataset,
+)
+from ..dns.chaos import format_identity
+from ..util.timegrid import ATLAS_PROBE_INTERVAL
+
+#: Reply string a hijacking middlebox returns (matches no letter).
+BOGUS_ANSWER = "local-forwarder"
+
+
+def to_probe_records(
+    dataset: AtlasDataset,
+    letter: str,
+    rng: np.random.Generator,
+    vp_ids: np.ndarray | None = None,
+    probe_interval_s: int = ATLAS_PROBE_INTERVAL,
+) -> Iterator[ProbeRecord]:
+    """Expand binned observations of *letter* into raw probe records.
+
+    Each VP probes every *probe_interval_s* seconds at a per-VP phase;
+    each probe inherits the outcome of the bin it falls in, with small
+    per-probe RTT jitter.  Records are yielded in time order per VP.
+    """
+    obs = dataset.letter(letter)
+    grid = dataset.grid
+    if vp_ids is None:
+        vp_positions = np.arange(len(dataset.vps))
+    else:
+        id_to_pos = {int(v): i for i, v in enumerate(dataset.vps.ids)}
+        vp_positions = np.array([id_to_pos[int(v)] for v in vp_ids])
+
+    for pos in vp_positions:
+        vp_id = int(dataset.vps.ids[pos])
+        firmware = int(dataset.vps.firmware[pos])
+        phase = float(rng.uniform(0, probe_interval_s))
+        t = grid.start + phase
+        while t < grid.end:
+            bin_index = grid.bin_index(t)
+            code = int(obs.site_idx[bin_index, pos])
+            if code == RESP_NOT_PROBED:
+                t += probe_interval_s
+                continue
+            if code >= 0:
+                rtt = float(obs.rtt_ms[bin_index, pos])
+                answer = format_identity(
+                    letter,
+                    obs.site_codes[code],
+                    int(obs.server[bin_index, pos]),
+                )
+                yield ProbeRecord(
+                    vp_id=vp_id,
+                    letter=letter,
+                    timestamp=t,
+                    answer=answer,
+                    rtt_ms=rtt * float(np.exp(rng.normal(0, 0.05))),
+                    rcode=0,
+                    firmware=firmware,
+                )
+            elif code == RESP_ERROR:
+                yield ProbeRecord(
+                    vp_id=vp_id,
+                    letter=letter,
+                    timestamp=t,
+                    answer=None,
+                    rtt_ms=None,
+                    rcode=2,  # SERVFAIL
+                    firmware=firmware,
+                )
+            elif code == RESP_BOGUS:
+                rtt = float(obs.rtt_ms[bin_index, pos])
+                yield ProbeRecord(
+                    vp_id=vp_id,
+                    letter=letter,
+                    timestamp=t,
+                    answer=BOGUS_ANSWER,
+                    rtt_ms=rtt,
+                    rcode=0,
+                    firmware=firmware,
+                )
+            elif code == RESP_TIMEOUT:
+                yield ProbeRecord(
+                    vp_id=vp_id,
+                    letter=letter,
+                    timestamp=t,
+                    answer=None,
+                    rtt_ms=None,
+                    rcode=None,
+                    firmware=firmware,
+                )
+            else:
+                raise ValueError(f"unknown sentinel {code}")
+            t += probe_interval_s

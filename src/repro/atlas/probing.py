@@ -1,0 +1,261 @@
+"""The probing engine: per-bin CHAOS measurements of one letter.
+
+For every ten-minute bin the scenario engine hands this module the
+letter's current conditions -- the routing table (who reaches which
+site) and each site's loss fraction and queueing delay -- and the
+engine samples what every vantage point would observe:
+
+* the site answering (from the VP's AS catchment),
+* the server answering (source-hash load balancing, modified by the
+  site's stress behaviour, section 3.5),
+* the RTT (geographic baseline + queueing delay + jitter), subject to
+  the 5-second Atlas timeout,
+* or a failure: timeout (queue drop / no route) or an error RCODE.
+
+Hijacked VPs (section 2.4.1) are answered by a third party regardless
+of the letter's state: a non-matching reply with a very short RTT.
+A-Root's 30-minute probing cadence leaves 2 of each 3 bins unprobed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.observations import (
+    RESP_BOGUS,
+    RESP_ERROR,
+    RESP_NOT_PROBED,
+    RESP_TIMEOUT,
+    LetterObservations,
+    VantagePointTable,
+)
+from ..netsim.bgp import RoutingTable
+from ..rootdns.deployment import LetterDeployment
+from ..rootdns.servers import (
+    observed_servers,
+    server_delay_multipliers,
+    server_loss_multipliers,
+)
+from ..util.geo import haversine_km_vec, propagation_rtt_ms_vec
+from ..util.timegrid import ATLAS_TIMEOUT_MS, TimeGrid
+
+#: Background failure probability of a healthy query (packet loss,
+#: probe restarts); keeps the "normal" curves of Fig. 3 mildly noisy.
+BASELINE_FAILURE_PROB = 0.005
+
+#: Probability that a failed query surfaces as an error RCODE rather
+#: than a timeout (overloaded servers sometimes answer SERVFAIL).
+ERROR_GIVEN_FAILURE = 0.1
+
+#: RTT of a hijacker's local answer (the paper flags < 7 ms).
+HIJACK_RTT_MS = 3.0
+
+#: Lognormal RTT jitter sigma.
+RTT_JITTER_SIGMA = 0.12
+
+
+@dataclass(frozen=True, slots=True)
+class SiteBinConditions:
+    """Per-site conditions for one letter in one bin (site order)."""
+
+    loss: np.ndarray          # float64 (n_sites,)
+    delay_ms: np.ndarray      # float64 (n_sites,)
+    overloaded: np.ndarray    # bool    (n_sites,)
+
+    def __post_init__(self) -> None:
+        if not (
+            self.loss.shape == self.delay_ms.shape == self.overloaded.shape
+        ):
+            raise ValueError("condition arrays misaligned")
+
+
+class LetterProber:
+    """Samples one letter's observations bin by bin."""
+
+    def __init__(
+        self,
+        deployment: LetterDeployment,
+        vps: VantagePointTable,
+        grid: TimeGrid,
+        rng: np.random.Generator,
+    ) -> None:
+        self.deployment = deployment
+        self.vps = vps
+        self.grid = grid
+        self.rng = rng
+        self.letter = deployment.letter
+        self.site_codes = list(deployment.site_order)
+        n_vps = len(vps)
+        n_sites = len(self.site_codes)
+
+        # Baseline RTT from each VP to each site.
+        site_lats = np.array(
+            [s.location.lat for s in deployment.spec.sites]
+        )
+        site_lons = np.array(
+            [s.location.lon for s in deployment.spec.sites]
+        )
+        distances = haversine_km_vec(
+            vps.lats[:, None], vps.lons[:, None],
+            site_lats[None, :], site_lons[None, :],
+        )
+        self.base_rtt = propagation_rtt_ms_vec(distances)
+
+        # Source hashes for load balancing; stable per VP.
+        self.vp_hashes = (vps.ids * np.int64(2654435761)) & np.int64(
+            0x7FFFFFFF
+        )
+
+        # Probing cadence: A-Root was probed every 30 minutes, giving
+        # one probe per three bins; the other letters probe every four
+        # minutes, giving 2.5 probes per ten-minute bin.  Bins prefer a
+        # site answer over errors over missing (section 2.4.1), so a
+        # bin succeeds when *any* of its probes succeeds.
+        interval = deployment.spec.probe_interval_s
+        self.bins_per_probe = max(1, interval // grid.bin_seconds)
+        self.probes_per_bin = max(1.0, grid.bin_seconds / interval)
+        self.probe_phase = rng.integers(
+            self.bins_per_probe, size=n_vps
+        )
+
+        self.n_servers = np.array(
+            [s.n_servers for s in deployment.spec.sites], dtype=np.int64
+        )
+
+        # Output matrices.
+        self.site_idx = np.full(
+            (grid.n_bins, n_vps), RESP_NOT_PROBED, dtype=np.int16
+        )
+        self.rtt_ms = np.full((grid.n_bins, n_vps), np.nan, dtype=np.float32)
+        self.server = np.zeros((grid.n_bins, n_vps), dtype=np.int16)
+
+        self._catchment_cache: dict[int, np.ndarray] = {}
+
+    def _vp_site_indices(self, table: RoutingTable) -> np.ndarray:
+        """Site index per VP (-1 when the VP's AS has no route)."""
+        key = id(table)
+        cached = self._catchment_cache.get(key)
+        if cached is not None:
+            return cached
+        code_to_idx = {c: i for i, c in enumerate(self.site_codes)}
+        asn_site: dict[int, int] = {}
+        for asn in np.unique(self.vps.asns):
+            site = table.site_of(int(asn))
+            asn_site[int(asn)] = code_to_idx[site] if site else -1
+        result = np.array(
+            [asn_site[int(a)] for a in self.vps.asns], dtype=np.int64
+        )
+        self._catchment_cache[key] = result
+        return result
+
+    def sample_bin(
+        self,
+        bin_index: int,
+        table: RoutingTable,
+        conditions: SiteBinConditions,
+    ) -> None:
+        """Fill in one bin's observations for every VP."""
+        n_vps = len(self.vps)
+        probed = (
+            (bin_index + self.probe_phase) % self.bins_per_probe == 0
+        )
+        if not probed.any():
+            return
+
+        out_site = np.full(n_vps, RESP_NOT_PROBED, dtype=np.int16)
+        out_rtt = np.full(n_vps, np.nan, dtype=np.float32)
+        out_server = np.zeros(n_vps, dtype=np.int16)
+
+        vp_site = self._vp_site_indices(table)
+        active = probed & ~self.vps.hijacked
+        routed = active & (vp_site >= 0)
+
+        # Hijacked VPs: local bogus answer, fast, always "up".
+        hijacked = probed & self.vps.hijacked
+        out_site[hijacked] = RESP_BOGUS
+        out_rtt[hijacked] = HIJACK_RTT_MS * (
+            1.0
+            + self.rng.normal(0.0, 0.1, int(hijacked.sum())).clip(-0.3, 0.3)
+        )
+
+        # Unrouted VPs: no path to any site -> timeout.
+        out_site[active & (vp_site < 0)] = RESP_TIMEOUT
+
+        if routed.any():
+            sites = vp_site[routed]
+            # Server selection per site behaviour.
+            servers = np.empty(sites.size, dtype=np.int64)
+            loss = conditions.loss[sites].copy()
+            delay = conditions.delay_ms[sites].copy()
+            for idx in np.unique(sites):
+                spec = self.deployment.spec.sites[idx]
+                state = self.deployment.states[spec.code]
+                mask = sites == idx
+                overloaded = bool(conditions.overloaded[idx])
+                chosen = observed_servers(
+                    spec.server_behavior,
+                    spec.n_servers,
+                    self.vp_hashes[routed][mask],
+                    overloaded,
+                    state.shed_server,
+                )
+                servers[mask] = chosen
+                loss_mult = server_loss_multipliers(
+                    spec.server_behavior, spec.code, spec.n_servers,
+                    overloaded,
+                )
+                delay_mult = server_delay_multipliers(
+                    spec.server_behavior, spec.code, spec.n_servers,
+                    overloaded,
+                )
+                loss[mask] = np.clip(
+                    loss[mask] * loss_mult[chosen - 1], 0.0, 1.0
+                )
+                delay[mask] = delay[mask] * delay_mult[chosen - 1]
+
+            fail_prob = np.clip(
+                loss + BASELINE_FAILURE_PROB, 0.0, 1.0
+            )
+            # A bin fails only when every probe in it fails.
+            bin_fail_prob = fail_prob**self.probes_per_bin
+            failed = self.rng.random(sites.size) < bin_fail_prob
+            jitter = np.exp(
+                self.rng.normal(0.0, RTT_JITTER_SIGMA, sites.size)
+            )
+            rtts = (
+                self.base_rtt[np.flatnonzero(routed), sites] * jitter + delay
+            )
+            timed_out = rtts > ATLAS_TIMEOUT_MS
+
+            site_result = sites.astype(np.int16)
+            site_result[failed] = np.where(
+                self.rng.random(int(failed.sum())) < ERROR_GIVEN_FAILURE,
+                RESP_ERROR,
+                RESP_TIMEOUT,
+            ).astype(np.int16)
+            site_result[timed_out & ~failed] = RESP_TIMEOUT
+
+            ok = site_result >= 0
+            rtt_result = np.where(ok, rtts, np.nan).astype(np.float32)
+            server_result = np.where(ok, servers, 0).astype(np.int16)
+
+            routed_idx = np.flatnonzero(routed)
+            out_site[routed_idx] = site_result
+            out_rtt[routed_idx] = rtt_result
+            out_server[routed_idx] = server_result
+
+        self.site_idx[bin_index] = out_site
+        self.rtt_ms[bin_index] = out_rtt
+        self.server[bin_index] = out_server
+
+    def finish(self) -> LetterObservations:
+        """Package the filled matrices."""
+        return LetterObservations(
+            letter=self.letter,
+            site_codes=self.site_codes,
+            site_idx=self.site_idx,
+            rtt_ms=self.rtt_ms,
+            server=self.server,
+        )

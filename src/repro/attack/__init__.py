@@ -1,0 +1,44 @@
+"""Attack and workload models for the Nov/Dec 2015 events."""
+
+from .botnet import (
+    DEFAULT_HOTSPOTS,
+    Botnet,
+    BotnetConfig,
+    build_botnet,
+    expected_unique_sources,
+)
+from .events import (
+    DEC1_EVENT,
+    NOV2015_EVENTS,
+    NOV30_EVENT,
+    AttackEvent,
+    active_event,
+    attack_rate,
+)
+from .spoofing import SpoofedSourceModel, format_ipv4
+from .workload import (
+    RETRY_SPILL_FRACTION,
+    BaselineWorkload,
+    legit_shares_by_site,
+    retry_spill,
+)
+
+__all__ = [
+    "AttackEvent",
+    "BaselineWorkload",
+    "Botnet",
+    "BotnetConfig",
+    "DEC1_EVENT",
+    "DEFAULT_HOTSPOTS",
+    "NOV2015_EVENTS",
+    "NOV30_EVENT",
+    "RETRY_SPILL_FRACTION",
+    "SpoofedSourceModel",
+    "active_event",
+    "attack_rate",
+    "build_botnet",
+    "expected_unique_sources",
+    "format_ipv4",
+    "legit_shares_by_site",
+    "retry_spill",
+]

@@ -1,0 +1,88 @@
+"""The traffic events of 2015-11-30 and 2015-12-01 (paper section 2.3).
+
+Both events sent queries for a single fixed name from spoofed IPv4
+sources over UDP, at roughly 5 Mq/s per targeted letter -- more than
+100x normal load.  D-, L- and M-Root were not attacked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dns.rcode import ATTACK_QNAME_DEC1, ATTACK_QNAME_NOV30
+from ..rootdns.letters import ATTACKED_LETTERS
+from ..util.timegrid import EVENT_1, EVENT_2, Interval
+from ..util.units import (
+    EVENT_QUERY_WIRE_BYTES_DEC1,
+    EVENT_QUERY_WIRE_BYTES_NOV30,
+    EVENT_RESPONSE_WIRE_BYTES,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class AttackEvent:
+    """One sustained high-rate query event against a set of letters."""
+
+    name: str
+    interval: Interval
+    qname: str
+    rate_qps: float
+    targets: tuple[str, ...]
+    query_wire_bytes: int
+    response_wire_bytes: int = EVENT_RESPONSE_WIRE_BYTES
+
+    def __post_init__(self) -> None:
+        if self.rate_qps <= 0:
+            raise ValueError("attack rate must be positive")
+        if not self.targets:
+            raise ValueError("an event needs at least one target letter")
+        if len(set(self.targets)) != len(self.targets):
+            raise ValueError("duplicate target letters")
+
+    def rate_for(self, letter: str, timestamp: float) -> float:
+        """Offered attack rate against *letter* at *timestamp*."""
+        if letter in self.targets and self.interval.contains(timestamp):
+            return self.rate_qps
+        return 0.0
+
+
+#: Nov 30, 06:50-09:30 UTC: www.336901.com, ~5 Mq/s per letter.
+NOV30_EVENT = AttackEvent(
+    name="2015-11-30",
+    interval=EVENT_1,
+    qname=ATTACK_QNAME_NOV30,
+    rate_qps=5.0e6,
+    targets=ATTACKED_LETTERS,
+    query_wire_bytes=EVENT_QUERY_WIRE_BYTES_NOV30,
+)
+
+#: Dec 1, 05:10-06:10 UTC: www.916yy.com, slightly higher rate
+#: (Table 3 reports A-Root at 5.21 vs 5.12 Mq/s).
+DEC1_EVENT = AttackEvent(
+    name="2015-12-01",
+    interval=EVENT_2,
+    qname=ATTACK_QNAME_DEC1,
+    rate_qps=5.1e6,
+    targets=ATTACKED_LETTERS,
+    query_wire_bytes=EVENT_QUERY_WIRE_BYTES_DEC1,
+)
+
+#: Both events in chronological order.
+NOV2015_EVENTS = (NOV30_EVENT, DEC1_EVENT)
+
+
+def attack_rate(
+    events: tuple[AttackEvent, ...], letter: str, timestamp: float
+) -> float:
+    """Total attack rate against *letter* at *timestamp*."""
+    return sum(e.rate_for(letter, timestamp) for e in events)
+
+
+def active_event(
+    events: tuple[AttackEvent, ...], timestamp: float
+) -> AttackEvent | None:
+    """The event in progress at *timestamp*, if any."""
+    for event in events:
+        if event.interval.contains(timestamp):
+            return event
+    return None

@@ -1,0 +1,15 @@
+"""BGPmon-style route collector simulation."""
+
+from .collector import (
+    UPDATES_PER_CHANGE,
+    BgpCollectors,
+    BgpmonConfig,
+    build_collectors,
+)
+
+__all__ = [
+    "BgpCollectors",
+    "BgpmonConfig",
+    "UPDATES_PER_CHANGE",
+    "build_collectors",
+]

@@ -1,0 +1,198 @@
+"""Command-line interface: simulate, analyze, report, policies.
+
+Installed as the ``anycast-ddos`` console script:
+
+* ``anycast-ddos simulate --out events.npz`` -- run a scenario and
+  save the Atlas dataset;
+* ``anycast-ddos analyze events.npz --figure fig3`` -- reproduce one
+  figure/table from a saved dataset;
+* ``anycast-ddos report`` -- simulate and print the full post-mortem;
+* ``anycast-ddos policies --attack 6`` -- evaluate the §2.2 model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import ScenarioConfig, june2016_config, nov2015_config, simulate
+from .core import (
+    clean_dataset,
+    correlation_table,
+    flips_figure,
+    observed_sites_table,
+    reachability_figure,
+    rtt_figure,
+    site_minmax_table,
+    sites_vs_resilience,
+)
+from .datasets import load_dataset, save_dataset
+
+#: Figures/tables the ``analyze`` command can regenerate from a saved
+#: dataset (those needing only Atlas data).
+ANALYSES = ("table2", "fig3", "fig4", "fig5", "fig8", "correlation")
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--stubs", type=int, default=400,
+                        help="stub ASes in the synthetic Internet")
+    parser.add_argument("--vps", type=int, default=800,
+                        help="vantage points")
+    parser.add_argument(
+        "--letters", default=None,
+        help="comma-separated subset of letters (default: all 13)",
+    )
+    parser.add_argument(
+        "--preset", choices=("nov2015", "june2016"), default="nov2015",
+        help="which event to simulate",
+    )
+
+
+def _config_from_args(args: argparse.Namespace) -> ScenarioConfig:
+    letters = None
+    if args.letters:
+        letters = tuple(part.strip().upper() for part in
+                        args.letters.split(","))
+    factory = (
+        nov2015_config if args.preset == "nov2015" else june2016_config
+    )
+    return factory(
+        seed=args.seed,
+        n_stubs=args.stubs,
+        n_vps=args.vps,
+        letters=letters,
+    )
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    print(
+        f"simulating {args.preset} "
+        f"({config.n_stubs} stubs, {config.n_vps} VPs) ...",
+        file=sys.stderr,
+    )
+    result = simulate(config)
+    save_dataset(result.atlas, args.out)
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+def _analyze(dataset, which: str) -> str:
+    if which == "table2":
+        return observed_sites_table(dataset).render()
+    if which == "fig3":
+        return reachability_figure(dataset).render()
+    if which == "fig4":
+        return rtt_figure(dataset).render()
+    if which == "fig5":
+        return "\n\n".join(
+            site_minmax_table(dataset, letter).render()
+            for letter in ("E", "K")
+            if letter in dataset.letters
+        )
+    if which == "fig8":
+        return flips_figure(dataset).render()
+    if which == "correlation":
+        from .rootdns import LETTERS_SPEC
+
+        fit = sites_vs_resilience(
+            dataset,
+            {L: s.n_sites for L, s in LETTERS_SPEC.items()},
+        )
+        return correlation_table(fit).render()
+    raise ValueError(f"unknown analysis {which!r}")
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset)
+    if not args.raw:
+        dataset, report = clean_dataset(dataset)
+        print(
+            f"(cleaned: kept {report.n_kept}/{report.n_total} VPs)",
+            file=sys.stderr,
+        )
+    print(_analyze(dataset, args.figure))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    result = simulate(config)
+    dataset, _ = clean_dataset(result.atlas)
+    for which in ANALYSES:
+        try:
+            print(_analyze(dataset, which))
+        except ValueError as exc:
+            # e.g. the correlation fit needs at least three letters.
+            print(f"[{which} skipped: {exc}]", file=sys.stderr)
+            continue
+        print("=" * 72)
+    return 0
+
+
+def _cmd_policies(args: argparse.Namespace) -> int:
+    from .core import (
+        best_withdrawal,
+        classify_case,
+        default_assignment,
+        figure2_model,
+        happiness,
+        optimal_assignment,
+    )
+
+    model = figure2_model(args.attack, args.attack)
+    case = classify_case(args.attack, args.attack)
+    absorb = happiness(model, default_assignment(model))
+    withdrawn, withdraw = best_withdrawal(model)
+    assignment, optimal = optimal_assignment(model)
+    print(f"A0 = A1 = {args.attack}: paper case {case}")
+    print(f"  absorb:   H = {absorb}/4")
+    print(f"  withdraw: H = {withdraw}/4  (withdraw {sorted(withdrawn)})")
+    print(f"  re-route: H = {optimal}/4  ({assignment})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="anycast-ddos",
+        description=(
+            "Reproduction toolkit for 'Anycast vs. DDoS' (IMC 2016)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run a scenario, save dataset")
+    _add_scenario_args(sim)
+    sim.add_argument("--out", default="events.npz",
+                     help="output .npz path")
+    sim.set_defaults(func=_cmd_simulate)
+
+    ana = sub.add_parser("analyze", help="analyze a saved dataset")
+    ana.add_argument("dataset", help="path to a saved .npz dataset")
+    ana.add_argument("--figure", choices=ANALYSES, default="fig3")
+    ana.add_argument("--raw", action="store_true",
+                     help="skip the cleaning pipeline")
+    ana.set_defaults(func=_cmd_analyze)
+
+    rep = sub.add_parser("report", help="simulate and print a report")
+    _add_scenario_args(rep)
+    rep.set_defaults(func=_cmd_report)
+
+    pol = sub.add_parser("policies", help="evaluate the §2.2 model")
+    pol.add_argument("--attack", type=float, default=6.0,
+                     help="attack volume A0 = A1 (site capacity = 1)")
+    pol.set_defaults(func=_cmd_policies)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for the ``anycast-ddos`` script."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,187 @@
+"""The paper's analysis toolkit: one module per table/figure family.
+
+* cleaning, binning -- section 2.4.1 data preparation
+* reachability -- Fig. 3; rtt -- Figs. 4, 7, 13
+* catchments -- Table 2 (observed), Figs. 5-6
+* flips -- Figs. 8, 10, 11; routing_changes -- Fig. 9
+* servers -- Fig. 12; event_size -- Table 3
+* collateral -- Figs. 14-15; policies -- section 2.2 model
+* correlation -- section 3.2.1's R^2
+"""
+
+from .binning import bin_probe_records
+from .catchments import (
+    STABILITY_THRESHOLD,
+    SiteCatchmentStats,
+    critical_episodes,
+    observed_site_count,
+    observed_sites_table,
+    site_minmax,
+    site_minmax_table,
+    site_timeseries,
+    vps_per_site,
+)
+from .cleaning import (
+    BOGUS_FRACTION_THRESHOLD,
+    HIJACK_RTT_THRESHOLD_MS,
+    CleaningReport,
+    clean_dataset,
+    detect_hijacked,
+)
+from .collateral import (
+    MIN_DIP_FRACTION,
+    CollateralSite,
+    collateral_figure,
+    collateral_sites,
+    nl_event_minimum,
+    nl_figure,
+    silence_score,
+)
+from .correlation import (
+    SitesResilienceFit,
+    correlation_table,
+    sites_vs_resilience,
+)
+from .efficiency import (
+    EfficiencyStats,
+    catchment_efficiency,
+    efficiency_table,
+    inflation_series,
+)
+from .event_size import (
+    EVENT_DURATIONS,
+    EventSizeBounds,
+    LetterEventSize,
+    estimate_bounds,
+    event_size_table,
+    letter_event_size,
+    robust_baseline,
+)
+from .flips import (
+    BEHAVIOR_FAILED,
+    BEHAVIOR_SHIFT_RETURN,
+    BEHAVIOR_SHIFT_STAY,
+    BEHAVIOR_STUCK,
+    BEHAVIOR_UNAFFECTED,
+    VpTimeline,
+    behaviour_census,
+    classify_behaviour,
+    count_flips,
+    flip_destinations,
+    flips_figure,
+    vp_timelines,
+)
+from .policies import (
+    AnycastModel,
+    LinkGroup,
+    best_withdrawal,
+    classify_case,
+    default_assignment,
+    expected_happiness,
+    figure2_model,
+    happiness,
+    optimal_assignment,
+    withdrawal_assignment,
+)
+from .reachability import (
+    letter_reachability,
+    reachability_figure,
+    worst_responsiveness,
+)
+from .results import Series, SeriesBundle, TableResult
+from .routing_changes import (
+    event_concentration,
+    letters_with_event_churn,
+    route_change_series,
+)
+from .rtt import (
+    letter_rtt_series,
+    rtt_figure,
+    rtt_significantly_changed,
+    server_rtt_series,
+    site_rtt_figure,
+    site_rtt_series,
+)
+from .servers import (
+    answering_servers_per_bin,
+    server_reachability,
+    shed_detected,
+)
+
+__all__ = [
+    "AnycastModel",
+    "BEHAVIOR_FAILED",
+    "BEHAVIOR_SHIFT_RETURN",
+    "BEHAVIOR_SHIFT_STAY",
+    "BEHAVIOR_STUCK",
+    "BEHAVIOR_UNAFFECTED",
+    "BOGUS_FRACTION_THRESHOLD",
+    "CleaningReport",
+    "CollateralSite",
+    "EVENT_DURATIONS",
+    "EfficiencyStats",
+    "EventSizeBounds",
+    "HIJACK_RTT_THRESHOLD_MS",
+    "LetterEventSize",
+    "LinkGroup",
+    "MIN_DIP_FRACTION",
+    "STABILITY_THRESHOLD",
+    "Series",
+    "SeriesBundle",
+    "SiteCatchmentStats",
+    "SitesResilienceFit",
+    "TableResult",
+    "VpTimeline",
+    "answering_servers_per_bin",
+    "behaviour_census",
+    "best_withdrawal",
+    "bin_probe_records",
+    "catchment_efficiency",
+    "classify_behaviour",
+    "classify_case",
+    "clean_dataset",
+    "collateral_figure",
+    "collateral_sites",
+    "correlation_table",
+    "count_flips",
+    "critical_episodes",
+    "default_assignment",
+    "detect_hijacked",
+    "efficiency_table",
+    "estimate_bounds",
+    "event_concentration",
+    "event_size_table",
+    "expected_happiness",
+    "figure2_model",
+    "flip_destinations",
+    "flips_figure",
+    "happiness",
+    "inflation_series",
+    "letter_event_size",
+    "letter_reachability",
+    "letter_rtt_series",
+    "letters_with_event_churn",
+    "nl_event_minimum",
+    "nl_figure",
+    "observed_site_count",
+    "observed_sites_table",
+    "optimal_assignment",
+    "reachability_figure",
+    "robust_baseline",
+    "route_change_series",
+    "rtt_figure",
+    "rtt_significantly_changed",
+    "server_reachability",
+    "server_rtt_series",
+    "shed_detected",
+    "silence_score",
+    "site_minmax",
+    "site_minmax_table",
+    "site_rtt_figure",
+    "site_rtt_series",
+    "site_timeseries",
+    "sites_vs_resilience",
+    "vp_timelines",
+    "vps_per_site",
+    "worst_responsiveness",
+]

@@ -1,0 +1,129 @@
+"""Raw probe records -> ten-minute bins (paper section 2.4.1).
+
+RIPE probes each letter every four minutes at arbitrary phases, so the
+paper synchronises observations onto ten-minute bins (2.5 probing
+intervals).  Within one bin a VP may have several differing results;
+the paper's preference order is **site over errors, errors over
+missing replies**.  This module implements that rule over raw
+:class:`~repro.datasets.io.ProbeRecord` streams, parsing CHAOS answers
+into sites and servers with the per-letter identity patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..datasets.io import ProbeRecord
+from ..datasets.observations import (
+    RESP_BOGUS,
+    RESP_ERROR,
+    RESP_NOT_PROBED,
+    RESP_TIMEOUT,
+    LetterObservations,
+)
+from ..dns.chaos import parse_identity
+from ..util.timegrid import TimeGrid
+
+#: Preference rank of each outcome class; higher wins within a bin.
+_RANK_SITE = 3
+_RANK_BOGUS = 2  # a reply, but unparseable: kept for hijack detection
+_RANK_ERROR = 1
+_RANK_TIMEOUT = 0
+
+
+def bin_probe_records(
+    records: Iterable[ProbeRecord],
+    letter: str,
+    grid: TimeGrid,
+    vp_ids: list[int],
+    site_codes: list[str] | None = None,
+) -> LetterObservations:
+    """Bin raw records of one letter onto *grid*.
+
+    *site_codes* fixes the site index order; when ``None`` the order
+    of first appearance is used.  Records outside the grid or for
+    other letters are ignored.
+    """
+    vp_pos = {int(v): i for i, v in enumerate(vp_ids)}
+    codes: list[str] = list(site_codes) if site_codes else []
+    code_idx = {c: i for i, c in enumerate(codes)}
+    extendable = site_codes is None
+
+    n_vps = len(vp_ids)
+    site_idx = np.full((grid.n_bins, n_vps), RESP_NOT_PROBED, dtype=np.int16)
+    rtt_ms = np.full((grid.n_bins, n_vps), np.nan, dtype=np.float32)
+    server = np.zeros((grid.n_bins, n_vps), dtype=np.int16)
+    rank = np.full((grid.n_bins, n_vps), -1, dtype=np.int8)
+    best_rtt_rank = np.full((grid.n_bins, n_vps), np.inf)
+
+    for record in records:
+        if record.letter != letter:
+            continue
+        pos = vp_pos.get(record.vp_id)
+        if pos is None:
+            continue
+        if not grid.start <= record.timestamp < grid.end:
+            continue
+        b = grid.bin_index(record.timestamp)
+
+        if record.answer is not None:
+            identity = parse_identity(letter, record.answer)
+            if identity is None:
+                outcome_rank = _RANK_BOGUS
+                outcome = RESP_BOGUS
+                outcome_server = 0
+            else:
+                outcome_rank = _RANK_SITE
+                if identity.site not in code_idx:
+                    if not extendable:
+                        raise ValueError(
+                            f"unknown site {identity.site!r} for fixed "
+                            f"site list of {letter}"
+                        )
+                    code_idx[identity.site] = len(codes)
+                    codes.append(identity.site)
+                outcome = code_idx[identity.site]
+                outcome_server = identity.server
+        elif record.rcode is not None and record.rcode != 0:
+            outcome_rank = _RANK_ERROR
+            outcome = RESP_ERROR
+            outcome_server = 0
+        else:
+            outcome_rank = _RANK_TIMEOUT
+            outcome = RESP_TIMEOUT
+            outcome_server = 0
+
+        if outcome_rank < rank[b, pos]:
+            continue
+        is_upgrade = outcome_rank > rank[b, pos]
+        if is_upgrade:
+            rank[b, pos] = outcome_rank
+            site_idx[b, pos] = outcome
+            server[b, pos] = outcome_server
+            rtt = record.rtt_ms if record.rtt_ms is not None else np.nan
+            rtt_ms[b, pos] = rtt
+            best_rtt_rank[b, pos] = rtt if record.rtt_ms is not None else (
+                np.inf
+            )
+        else:
+            # Same rank: keep the site already chosen, but prefer the
+            # best (smallest) RTT among successful replies.
+            if (
+                outcome_rank == _RANK_SITE
+                and record.rtt_ms is not None
+                and record.rtt_ms < best_rtt_rank[b, pos]
+            ):
+                site_idx[b, pos] = outcome
+                server[b, pos] = outcome_server
+                rtt_ms[b, pos] = record.rtt_ms
+                best_rtt_rank[b, pos] = record.rtt_ms
+
+    return LetterObservations(
+        letter=letter,
+        site_codes=codes,
+        site_idx=site_idx,
+        rtt_ms=rtt_ms,
+        server=server,
+    )

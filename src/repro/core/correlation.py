@@ -1,0 +1,77 @@
+"""Site count vs resilience correlation (paper section 3.2.1).
+
+The paper reports a strong correlation (R^2 = 0.87) between how many
+sites a letter operates and its worst responsiveness during the
+events: more sites means more aggregate capacity and better isolation
+of attack traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from ..datasets.observations import AtlasDataset
+from .reachability import worst_responsiveness
+from .results import TableResult
+
+
+@dataclass(frozen=True, slots=True)
+class SitesResilienceFit:
+    """Linear fit of worst responsiveness against log site count."""
+
+    letters: tuple[str, ...]
+    site_counts: tuple[int, ...]
+    worst: tuple[float, ...]
+    slope: float
+    intercept: float
+    r_squared: float
+
+
+def sites_vs_resilience(
+    dataset: AtlasDataset,
+    site_counts: dict[str, int],
+    exclude: tuple[str, ...] = ("A",),
+) -> SitesResilienceFit:
+    """Fit worst responsiveness vs log10(site count) across letters.
+
+    *site_counts* maps letters to deployed site counts (Table 2).
+    A-Root is excluded by default, as in the paper (its 30-minute
+    probing cadence makes its dip unobservable).
+    """
+    letters = [
+        letter
+        for letter in sorted(dataset.letters)
+        if letter in site_counts and letter not in exclude
+    ]
+    if len(letters) < 3:
+        raise ValueError("need at least three letters for a fit")
+    counts = np.array([site_counts[letter] for letter in letters])
+    worst = np.array(
+        [worst_responsiveness(dataset, letter) for letter in letters]
+    )
+    fit = stats.linregress(np.log10(counts), worst)
+    return SitesResilienceFit(
+        letters=tuple(letters),
+        site_counts=tuple(int(c) for c in counts),
+        worst=tuple(float(w) for w in worst),
+        slope=float(fit.slope),
+        intercept=float(fit.intercept),
+        r_squared=float(fit.rvalue**2),
+    )
+
+
+def correlation_table(fit: SitesResilienceFit) -> TableResult:
+    """The fit as a table, letters plus the R^2 row."""
+    rows = [
+        (letter, fit.site_counts[i], round(fit.worst[i], 3))
+        for i, letter in enumerate(fit.letters)
+    ]
+    rows.append(("R^2", "-", round(fit.r_squared, 3)))
+    return TableResult(
+        title="Sites vs worst responsiveness (section 3.2.1)",
+        headers=("letter", "sites", "worst/median"),
+        rows=tuple(rows),
+    )

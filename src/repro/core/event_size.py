@@ -1,0 +1,242 @@
+"""Event-size estimation from RSSAC-002 reports (paper Table 3, §3.1).
+
+The paper estimates how big the events were from daily RSSAC-002
+statistics of the five reporting letters:
+
+* a 7-day pre-event **baseline** (mean daily queries), with anomalous
+  baseline days dropped (A-Root had an independent event on Nov 28);
+* the **delta** on each event day, converted to a rate over the event
+  duration (160 min on Nov 30, 60 min on Dec 1) and to a bitrate via
+  the dominant query-size bin plus header overhead;
+* a **lower bound** -- the sum of observed deltas of attacked
+  reporting letters; a **scaled** value correcting for attacked
+  letters that did not report; and an **upper bound** assuming every
+  attacked letter received A-Root's (fully measured) rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..rssac.reports import SIZE_BIN_WIDTH, DailyReport
+from ..util.units import HEADER_OVERHEAD_BYTES, gbps
+from .results import TableResult
+
+#: Event durations in seconds, per event date (section 2.3).
+EVENT_DURATIONS = {"2015-11-30": 160 * 60.0, "2015-12-01": 60 * 60.0}
+
+#: Baseline days whose query count exceeds this multiple of the median
+#: baseline are dropped as anomalous (A-Root's Nov 28 event).
+BASELINE_OUTLIER_FACTOR = 2.0
+
+
+def _wire_bytes_from_bin(bin_left: int) -> float:
+    """On-wire packet size estimated from a size-histogram bin."""
+    return bin_left + SIZE_BIN_WIDTH / 2.0 + HEADER_OVERHEAD_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class LetterEventSize:
+    """Table 3 numbers for one letter on one event day."""
+
+    letter: str
+    date: str
+    delta_queries_mqps: float
+    delta_queries_gbps: float
+    unique_sources_m: float
+    unique_ratio: float
+    delta_responses_mqps: float
+    delta_responses_gbps: float
+    baseline_mqps: float
+    baseline_unique_m: float
+    attacked: bool
+
+
+def split_reports(
+    reports: tuple[DailyReport, ...], event_dates: tuple[str, ...]
+) -> tuple[list[DailyReport], dict[str, DailyReport]]:
+    """Separate baseline reports from event-day reports."""
+    baseline = [r for r in reports if r.date not in event_dates]
+    events = {r.date: r for r in reports if r.date in event_dates}
+    missing = set(event_dates) - set(events)
+    if missing:
+        raise ValueError(f"missing event-day reports: {sorted(missing)}")
+    return baseline, events
+
+
+def robust_baseline(reports: list[DailyReport]) -> tuple[float, float]:
+    """Mean baseline (queries/day, uniques/day) with outliers dropped."""
+    if not reports:
+        raise ValueError("no baseline reports")
+    queries = np.array([r.queries for r in reports])
+    uniques = np.array([r.unique_sources for r in reports])
+    median = np.median(queries)
+    keep = queries <= BASELINE_OUTLIER_FACTOR * median
+    if not keep.any():
+        keep = np.ones_like(keep)
+    return float(queries[keep].mean()), float(uniques[keep].mean())
+
+
+def letter_event_size(
+    reports: tuple[DailyReport, ...],
+    date: str,
+    attacked: bool,
+    event_dates: tuple[str, ...] = ("2015-11-30", "2015-12-01"),
+) -> LetterEventSize:
+    """Table 3 row for one letter and one event day."""
+    duration = EVENT_DURATIONS.get(date)
+    if duration is None:
+        raise ValueError(f"unknown event date {date!r}")
+    baseline_reports, event_reports = split_reports(reports, event_dates)
+    base_queries, base_uniques = robust_baseline(baseline_reports)
+    base_responses = float(
+        np.mean([r.responses for r in baseline_reports])
+    )
+    day = event_reports[date]
+
+    delta_q = max(0.0, day.queries - base_queries)
+    delta_r = max(0.0, day.responses - base_responses)
+    q_rate = delta_q / duration
+    r_rate = delta_r / duration
+
+    attack_bins = {
+        b: c
+        for b, c in day.query_size_hist.items()
+        if c > 0
+    }
+    # The attack bin is the dominant unusual bin; fall back to the
+    # overall dominant bin.
+    baseline_bins = set()
+    for report in baseline_reports:
+        baseline_bins.update(report.query_size_hist)
+    unusual = {
+        b: c for b, c in attack_bins.items() if b not in baseline_bins
+    }
+    source = unusual or attack_bins
+    q_bin = max(source, key=source.get) if source else 0
+    r_bins = {
+        b: c
+        for b, c in day.response_size_hist.items()
+        if b not in baseline_bins and c > 0
+    }
+    r_bin = max(r_bins, key=r_bins.get) if r_bins else 448
+
+    return LetterEventSize(
+        letter=day.letter,
+        date=date,
+        delta_queries_mqps=q_rate / 1e6,
+        delta_queries_gbps=gbps(q_rate, _wire_bytes_from_bin(q_bin)),
+        unique_sources_m=day.unique_sources / 1e6,
+        unique_ratio=(
+            day.unique_sources / base_uniques if base_uniques > 0 else np.nan
+        ),
+        delta_responses_mqps=r_rate / 1e6,
+        delta_responses_gbps=gbps(r_rate, _wire_bytes_from_bin(r_bin)),
+        baseline_mqps=base_queries / 86_400.0 / 1e6,
+        baseline_unique_m=base_uniques / 1e6,
+        attacked=attacked,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class EventSizeBounds:
+    """Lower / scaled / upper bounds for one event day (Table 3)."""
+
+    date: str
+    lower_mqps: float
+    lower_gbps: float
+    scaled_mqps: float
+    scaled_gbps: float
+    upper_mqps: float
+    upper_gbps: float
+
+
+def estimate_bounds(
+    sizes: list[LetterEventSize],
+    date: str,
+    n_attacked_letters: int,
+    reference_letter: str = "A",
+) -> EventSizeBounds:
+    """Aggregate bounds from per-letter estimates for one event day.
+
+    Letters that were not attacked (L in the paper) are excluded.
+    The upper bound assumes all attacked letters received the
+    reference letter's rate (A-Root measured the entire event).
+    """
+    attacked = [
+        s for s in sizes if s.date == date and s.attacked
+    ]
+    if not attacked:
+        raise ValueError(f"no attacked-letter estimates for {date}")
+    lower_mqps = sum(s.delta_queries_mqps for s in attacked)
+    lower_gbps = sum(s.delta_queries_gbps for s in attacked)
+    scale = n_attacked_letters / len(attacked)
+    reference = next(
+        (s for s in attacked if s.letter == reference_letter), None
+    )
+    if reference is None:
+        reference = max(attacked, key=lambda s: s.delta_queries_mqps)
+    return EventSizeBounds(
+        date=date,
+        lower_mqps=lower_mqps,
+        lower_gbps=lower_gbps,
+        scaled_mqps=lower_mqps * scale,
+        scaled_gbps=lower_gbps * scale,
+        upper_mqps=reference.delta_queries_mqps * n_attacked_letters,
+        upper_gbps=reference.delta_queries_gbps * n_attacked_letters,
+    )
+
+
+def event_size_table(
+    rssac: dict[str, tuple[DailyReport, ...]],
+    attacked_letters: tuple[str, ...],
+    date: str,
+    n_attacked_letters: int | None = None,
+) -> TableResult:
+    """Table 3 for one event day, with bounds rows appended."""
+    if n_attacked_letters is None:
+        n_attacked_letters = len(attacked_letters)
+    sizes = []
+    for letter in sorted(rssac):
+        sizes.append(
+            letter_event_size(
+                rssac[letter], date, attacked=letter in attacked_letters
+            )
+        )
+    rows = [
+        (
+            s.letter + ("" if s.attacked else "*"),
+            round(s.delta_queries_mqps, 2),
+            round(s.delta_queries_gbps, 2),
+            round(s.unique_sources_m, 1),
+            round(s.unique_ratio, 1),
+            round(s.delta_responses_mqps, 2),
+            round(s.delta_responses_gbps, 2),
+            round(s.baseline_mqps, 2),
+        )
+        for s in sizes
+    ]
+    bounds = estimate_bounds(sizes, date, n_attacked_letters)
+    rows.append(
+        ("lower", round(bounds.lower_mqps, 2), round(bounds.lower_gbps, 2),
+         "-", "-", "-", "-", "-")
+    )
+    rows.append(
+        ("scaled", round(bounds.scaled_mqps, 2),
+         round(bounds.scaled_gbps, 2), "-", "-", "-", "-", "-")
+    )
+    rows.append(
+        ("upper", round(bounds.upper_mqps, 2), round(bounds.upper_gbps, 2),
+         "-", "-", "-", "-", "-")
+    )
+    return TableResult(
+        title=f"Table 3: event size estimates for {date} "
+        "(* = not attacked)",
+        headers=(
+            "letter", "dq Mq/s", "dq Gb/s", "M IPs", "IP ratio",
+            "dr Mq/s", "dr Gb/s", "base Mq/s",
+        ),
+        rows=tuple(rows),
+    )

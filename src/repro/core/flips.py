@@ -1,0 +1,214 @@
+"""Site flips: client-side evidence of routing stress (paper §3.4).
+
+A *site flip* is a vantage point changing anycast site between
+consecutive observations.  Flips should be rare in steady state; the
+events produce bursts of them (Fig. 8).  Following the flips of
+specific origin sites reveals where their catchments went (Fig. 10:
+70-80 % of K-LHR/K-FRA shifters landed on K-AMS and returned after),
+and per-VP timelines expose the behaviour classes of Fig. 11: VPs
+"stuck" on a degraded site, VPs that shift and return, VPs that shift
+permanently, and VPs that simply fail.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.observations import AtlasDataset
+from ..util.timegrid import EVENTS, Interval
+from .results import Series, SeriesBundle
+
+
+def _site_track(obs_site_idx: np.ndarray) -> np.ndarray:
+    """Per-VP site track with non-site bins carried as -1."""
+    track = obs_site_idx.astype(np.int64).copy()
+    track[track < 0] = -1
+    return track
+
+
+def count_flips(dataset: AtlasDataset, letter: str) -> Series:
+    """Fig. 8: number of site flips per bin for one letter.
+
+    A flip is counted in bin *b* when a VP's site in *b* differs from
+    the site of its most recent prior successful observation.
+    """
+    obs = dataset.letter(letter)
+    track = _site_track(obs.site_idx)
+    n_bins, n_vps = track.shape
+    flips = np.zeros(n_bins, dtype=np.int64)
+    last_site = np.full(n_vps, -1, dtype=np.int64)
+    for b in range(n_bins):
+        current = track[b]
+        have_site = current >= 0
+        flipped = have_site & (last_site >= 0) & (current != last_site)
+        flips[b] = int(flipped.sum())
+        last_site[have_site] = current[have_site]
+    return Series(
+        name=letter,
+        hours=dataset.grid.hours(),
+        values=flips.astype(np.float64),
+    )
+
+
+def flips_figure(
+    dataset: AtlasDataset, letters: list[str] | None = None
+) -> SeriesBundle:
+    """Fig. 8: site flips per letter."""
+    if letters is None:
+        letters = sorted(dataset.letters)
+    return SeriesBundle(
+        title="Fig. 8: site flips per 10-minute bin",
+        series=tuple(count_flips(dataset, L) for L in letters),
+    )
+
+
+def flip_destinations(
+    dataset: AtlasDataset,
+    letter: str,
+    origin_site: str,
+    interval_hours: tuple[float, float],
+) -> Counter:
+    """Fig. 10: where VPs that left *origin_site* went.
+
+    Considers VPs whose pre-interval modal site is *origin_site* and
+    returns the distribution of sites they appear at during the
+    interval (excluding the origin itself); failures count as
+    ``"(no reply)"``.
+    """
+    obs = dataset.letter(letter)
+    try:
+        origin_idx = obs.site_codes.index(origin_site)
+    except ValueError:
+        raise KeyError(
+            f"{letter}-Root has no site {origin_site!r}"
+        ) from None
+    hours = dataset.grid.hours()
+    before = hours < interval_hours[0]
+    during = (hours >= interval_hours[0]) & (hours < interval_hours[1])
+    if not before.any() or not during.any():
+        raise ValueError("interval leaves no before/during bins")
+
+    track = _site_track(obs.site_idx)
+    destinations: Counter = Counter()
+    for vp in range(obs.n_vps):
+        pre = track[before, vp]
+        pre_sites = pre[pre >= 0]
+        if pre_sites.size == 0:
+            continue
+        modal = np.bincount(pre_sites).argmax()
+        if modal != origin_idx:
+            continue
+        seen = track[during, vp]
+        answered = seen[seen >= 0]
+        moved = answered[answered != origin_idx]
+        if moved.size:
+            dest = np.bincount(moved).argmax()
+            destinations[f"{letter}-{obs.site_codes[int(dest)]}"] += 1
+        elif answered.size == 0:
+            destinations["(no reply)"] += 1
+        else:
+            destinations[f"{letter}-{origin_site} (stuck)"] += 1
+    return destinations
+
+
+#: Fig. 11 behaviour classes.
+BEHAVIOR_STUCK = "stuck"            # stays at origin, degraded
+BEHAVIOR_SHIFT_RETURN = "shift+return"
+BEHAVIOR_SHIFT_STAY = "shift+stay"
+BEHAVIOR_FAILED = "failed"          # no replies during the event
+BEHAVIOR_UNAFFECTED = "unaffected"
+
+
+@dataclass(frozen=True, slots=True)
+class VpTimeline:
+    """One VP's journey around an event (Fig. 11 row)."""
+
+    vp_id: int
+    origin_site: str
+    behavior: str
+    sites: tuple[str | None, ...]  # per bin: site code or None
+
+
+def classify_behaviour(
+    pre_modal: int,
+    during: np.ndarray,
+    after: np.ndarray,
+) -> str:
+    """Classify one VP given its origin and event-window tracks."""
+    answered = during[during >= 0]
+    if answered.size == 0:
+        return BEHAVIOR_FAILED
+    moved = answered[answered != pre_modal]
+    if moved.size == 0:
+        return BEHAVIOR_STUCK if (during < 0).any() else BEHAVIOR_UNAFFECTED
+    post = after[after >= 0]
+    if post.size and np.bincount(post).argmax() == pre_modal:
+        return BEHAVIOR_SHIFT_RETURN
+    return BEHAVIOR_SHIFT_STAY
+
+
+def vp_timelines(
+    dataset: AtlasDataset,
+    letter: str,
+    origin_sites: list[str],
+    event: Interval = EVENTS[0],
+    sample: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> list[VpTimeline]:
+    """Fig. 11: per-VP site timelines for VPs starting at given sites.
+
+    Returns one timeline per VP whose pre-event modal site is one of
+    *origin_sites*, optionally down-sampled to *sample* VPs.
+    """
+    obs = dataset.letter(letter)
+    origin_idx = {}
+    for site in origin_sites:
+        try:
+            origin_idx[obs.site_codes.index(site)] = site
+        except ValueError:
+            raise KeyError(f"{letter}-Root has no site {site!r}") from None
+
+    hours = dataset.grid.hours()
+    ev_start, ev_end = event.hours_after(dataset.grid.start)
+    before = hours < ev_start
+    during = (hours >= ev_start) & (hours < ev_end)
+    after = hours >= ev_end
+
+    track = _site_track(obs.site_idx)
+    timelines = []
+    for vp in range(obs.n_vps):
+        pre = track[before, vp]
+        pre_sites = pre[pre >= 0]
+        if pre_sites.size == 0:
+            continue
+        modal = int(np.bincount(pre_sites).argmax())
+        if modal not in origin_idx:
+            continue
+        behavior = classify_behaviour(
+            modal, track[during, vp], track[after, vp]
+        )
+        sites = tuple(
+            obs.site_codes[s] if s >= 0 else None for s in track[:, vp]
+        )
+        timelines.append(
+            VpTimeline(
+                vp_id=int(dataset.vps.ids[vp]),
+                origin_site=origin_idx[modal],
+                behavior=behavior,
+                sites=sites,
+            )
+        )
+    if sample is not None and len(timelines) > sample:
+        if rng is None:
+            rng = np.random.default_rng(0)
+        keep = rng.choice(len(timelines), size=sample, replace=False)
+        timelines = [timelines[i] for i in sorted(keep)]
+    return timelines
+
+
+def behaviour_census(timelines: list[VpTimeline]) -> Counter:
+    """Counts per behaviour class (the Fig. 11 group sizes)."""
+    return Counter(t.behavior for t in timelines)

@@ -1,0 +1,195 @@
+"""The section-2.2 anycast-vs-DDoS policy model.
+
+The paper grounds its empirical observations in a thought experiment:
+an anycast deployment with sites :math:`s_1 = s_2` and
+:math:`S_3 = 10 s_1`, clients :math:`c_0, c_1` in :math:`s_1`'s
+catchment, :math:`c_2` in :math:`s_2`'s and :math:`c_3` in
+:math:`S_3`'s, and attackers :math:`A_0` (ISP0, pinned to
+:math:`s_1`) and :math:`A_1` (ISP1, re-routable).  The defender's
+levers are route withdrawals and targeted re-routes; the metric is
+*happiness* -- how many clients are served.
+
+We model traffic at the granularity of *link groups*: a bundle of
+attack volume and clients that moves between sites together (the
+paper's "ISP1 with :math:`A_1` and :math:`c_1`").  A strategy assigns
+each group to one of the sites it can reach; a site serves its
+clients iff its assigned attack volume does not exceed capacity
+(legitimate volume is negligible, :math:`c_* \\ll A_*`).  The optimal
+strategy is found by exhaustive search, and the paper's five cases
+fall out of :func:`classify_case`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class LinkGroup:
+    """Traffic that moves between sites as a unit."""
+
+    name: str
+    attack: float
+    clients: int
+    site_options: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.attack < 0:
+            raise ValueError("attack volume cannot be negative")
+        if self.clients < 0:
+            raise ValueError("client count cannot be negative")
+        if not self.site_options:
+            raise ValueError(f"group {self.name!r} can reach no site")
+
+
+@dataclass(frozen=True, slots=True)
+class AnycastModel:
+    """Sites with capacities plus the link groups using them."""
+
+    capacities: dict[str, float]
+    groups: tuple[LinkGroup, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        for site, capacity in self.capacities.items():
+            if capacity <= 0:
+                raise ValueError(f"site {site!r} capacity must be positive")
+        for group in self.groups:
+            for site in group.site_options:
+                if site not in self.capacities:
+                    raise ValueError(
+                        f"group {group.name!r} references unknown site "
+                        f"{site!r}"
+                    )
+
+    @property
+    def total_clients(self) -> int:
+        return sum(g.clients for g in self.groups)
+
+
+Assignment = dict[str, str]
+
+
+def default_assignment(model: AnycastModel) -> Assignment:
+    """BGP's status quo: every group at its preferred site."""
+    return {g.name: g.site_options[0] for g in model.groups}
+
+
+def happiness(model: AnycastModel, assignment: Assignment) -> int:
+    """Clients served under *assignment* (the paper's H).
+
+    A site serves its clients iff its total assigned attack volume is
+    at most its capacity.
+    """
+    load: dict[str, float] = {site: 0.0 for site in model.capacities}
+    for group in model.groups:
+        site = assignment.get(group.name)
+        if site is None:
+            raise ValueError(f"group {group.name!r} unassigned")
+        if site not in model.capacities:
+            raise ValueError(f"unknown site {site!r}")
+        load[site] += group.attack
+    served = 0
+    for group in model.groups:
+        site = assignment[group.name]
+        if load[site] <= model.capacities[site]:
+            served += group.clients
+    return served
+
+
+def withdrawal_assignment(
+    model: AnycastModel, withdrawn: set[str]
+) -> Assignment:
+    """Assignment after withdrawing sites: groups take their first
+    still-announced option; a group with none keeps its last option
+    (the traffic has nowhere else to go)."""
+    assignment = {}
+    for group in model.groups:
+        remaining = [s for s in group.site_options if s not in withdrawn]
+        assignment[group.name] = (
+            remaining[0] if remaining else group.site_options[-1]
+        )
+    return assignment
+
+
+def best_withdrawal(model: AnycastModel) -> tuple[set[str], int]:
+    """Best pure-withdrawal strategy (the §2.2 "withdraw" lever).
+
+    Ties prefer fewer withdrawals (less disruption).
+    """
+    sites = sorted(model.capacities)
+    best: tuple[set[str], int] = (set(), happiness(
+        model, withdrawal_assignment(model, set())
+    ))
+    for k in range(1, len(sites)):
+        for combo in itertools.combinations(sites, k):
+            withdrawn = set(combo)
+            h = happiness(model, withdrawal_assignment(model, withdrawn))
+            if h > best[1]:
+                best = (withdrawn, h)
+    return best
+
+
+def optimal_assignment(model: AnycastModel) -> tuple[Assignment, int]:
+    """Best assignment with full routing control (targeted re-routes).
+
+    Exhaustive over each group's reachable sites; feasible for the
+    paper-scale models this reproduces.
+    """
+    names = [g.name for g in model.groups]
+    options = [g.site_options for g in model.groups]
+    best_assignment = default_assignment(model)
+    best_h = happiness(model, best_assignment)
+    for combo in itertools.product(*options):
+        assignment = dict(zip(names, combo))
+        h = happiness(model, assignment)
+        if h > best_h:
+            best_assignment, best_h = assignment, h
+    return best_assignment, best_h
+
+
+def figure2_model(
+    a0: float, a1: float, small_capacity: float = 1.0
+) -> AnycastModel:
+    """The paper's Figure 2 deployment.
+
+    Sites s1 = s2 = *small_capacity*, S3 = 10x.  ISP0 pins attacker A0
+    and client c0 to s1; ISP1 (A1 + c1) prefers s1 but can be
+    re-routed to s2 or S3; c2 and c3 are native to s2 and S3.
+    """
+    big = 10.0 * small_capacity
+    return AnycastModel(
+        capacities={"s1": small_capacity, "s2": small_capacity, "S3": big},
+        groups=(
+            LinkGroup("ISP0", attack=a0, clients=1,
+                      site_options=("s1", "s2", "S3")),
+            LinkGroup("ISP1", attack=a1, clients=1,
+                      site_options=("s1", "s2", "S3")),
+            LinkGroup("c2", attack=0.0, clients=1, site_options=("s2",)),
+            LinkGroup("c3", attack=0.0, clients=1, site_options=("S3",)),
+        ),
+    )
+
+
+def classify_case(a0: float, a1: float, small_capacity: float = 1.0) -> int:
+    """Which of the paper's five §2.2 cases (a0, a1) falls into."""
+    s1 = small_capacity
+    big = 10.0 * small_capacity
+    if a0 + a1 <= s1:
+        return 1  # nobody hurt even together
+    if a0 <= s1 and a1 <= s1:
+        return 2  # split the attackers across the small sites
+    if a0 + a1 <= big:
+        return 3  # the big site can take everything
+    if a0 <= big and a1 <= big:
+        return 4  # re-route one ISP to the big site, sacrifice the other
+    return 5  # some attacker overwhelms any site: absorb and contain
+
+
+def expected_happiness(case: int) -> int:
+    """The paper's H for each case (with optimal response)."""
+    expected = {1: 4, 2: 4, 3: 4, 4: 3, 5: 2}
+    try:
+        return expected[case]
+    except KeyError:
+        raise ValueError(f"unknown case {case}") from None

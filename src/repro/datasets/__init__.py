@@ -1,0 +1,35 @@
+"""Dataset containers and persistence."""
+
+from .io import (
+    ProbeRecord,
+    load_dataset,
+    read_probe_records,
+    save_dataset,
+    write_probe_records,
+)
+from .observations import (
+    MIN_FIRMWARE,
+    RESP_BOGUS,
+    RESP_ERROR,
+    RESP_NOT_PROBED,
+    RESP_TIMEOUT,
+    AtlasDataset,
+    LetterObservations,
+    VantagePointTable,
+)
+
+__all__ = [
+    "AtlasDataset",
+    "LetterObservations",
+    "MIN_FIRMWARE",
+    "ProbeRecord",
+    "RESP_BOGUS",
+    "RESP_ERROR",
+    "RESP_NOT_PROBED",
+    "RESP_TIMEOUT",
+    "VantagePointTable",
+    "load_dataset",
+    "read_probe_records",
+    "save_dataset",
+    "write_probe_records",
+]

@@ -1,0 +1,128 @@
+"""Dataset persistence: compressed NumPy bundles and NDJSON records.
+
+Two formats are supported:
+
+* :func:`save_dataset` / :func:`load_dataset` -- the full binned
+  :class:`~repro.datasets.observations.AtlasDataset` as one ``.npz``
+  bundle (compact, lossless, fast);
+* :func:`write_probe_records` / :func:`read_probe_records` -- raw
+  probe-level records as NDJSON, the shape in which real RIPE Atlas
+  results arrive and in which the binning pipeline consumes them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..util.timegrid import TimeGrid
+from .observations import AtlasDataset, LetterObservations, VantagePointTable
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: AtlasDataset, path: str | Path) -> None:
+    """Write *dataset* as a compressed ``.npz`` bundle."""
+    arrays: dict[str, np.ndarray] = {
+        "format_version": np.array([_FORMAT_VERSION]),
+        "grid": np.array(
+            [dataset.grid.start, dataset.grid.bin_seconds,
+             dataset.grid.n_bins]
+        ),
+        "vp_ids": dataset.vps.ids,
+        "vp_asns": dataset.vps.asns,
+        "vp_lats": dataset.vps.lats,
+        "vp_lons": dataset.vps.lons,
+        "vp_regions": dataset.vps.regions,
+        "vp_firmware": dataset.vps.firmware,
+        "vp_hijacked": dataset.vps.hijacked,
+        "letters": np.array(sorted(dataset.letters)),
+    }
+    for letter in sorted(dataset.letters):
+        obs = dataset.letters[letter]
+        arrays[f"{letter}_sites"] = np.array(obs.site_codes)
+        arrays[f"{letter}_site_idx"] = obs.site_idx
+        arrays[f"{letter}_rtt"] = obs.rtt_ms
+        arrays[f"{letter}_server"] = obs.server
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_dataset(path: str | Path) -> AtlasDataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        version = int(data["format_version"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported dataset format {version}")
+        start, bin_seconds, n_bins = (int(x) for x in data["grid"])
+        grid = TimeGrid(start=start, bin_seconds=bin_seconds, n_bins=n_bins)
+        vps = VantagePointTable(
+            ids=data["vp_ids"],
+            asns=data["vp_asns"],
+            lats=data["vp_lats"],
+            lons=data["vp_lons"],
+            regions=data["vp_regions"],
+            firmware=data["vp_firmware"],
+            hijacked=data["vp_hijacked"],
+        )
+        letters = {}
+        for letter in data["letters"]:
+            letter = str(letter)
+            letters[letter] = LetterObservations(
+                letter=letter,
+                site_codes=[str(s) for s in data[f"{letter}_sites"]],
+                site_idx=data[f"{letter}_site_idx"],
+                rtt_ms=data[f"{letter}_rtt"],
+                server=data[f"{letter}_server"],
+            )
+    return AtlasDataset(grid=grid, vps=vps, letters=letters)
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeRecord:
+    """One raw measurement result (the RIPE Atlas result shape)."""
+
+    vp_id: int
+    letter: str
+    timestamp: float
+    #: CHAOS TXT reply string, or ``None`` on timeout.
+    answer: str | None
+    rtt_ms: float | None
+    rcode: int | None
+    firmware: int
+
+    def __post_init__(self) -> None:
+        if self.answer is not None and self.rtt_ms is None:
+            raise ValueError("a reply must carry an RTT")
+
+
+def write_probe_records(
+    records: Iterable[ProbeRecord], path: str | Path
+) -> int:
+    """Write records as NDJSON; returns the number written."""
+    count = 0
+    with open(Path(path), "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(asdict(record), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_probe_records(path: str | Path) -> Iterator[ProbeRecord]:
+    """Stream records from an NDJSON file."""
+    with open(Path(path), encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: invalid JSON: {exc}"
+                ) from exc
+            yield ProbeRecord(**raw)

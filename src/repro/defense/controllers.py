@@ -1,0 +1,220 @@
+"""Automated anycast defense controllers (the paper's future work).
+
+Section 2.2 closes with: *"We speculate that more careful, explicit,
+and automated management of policies may provide stronger defenses to
+overload, an area of future work"* and section 5 asks for managing
+traffic across sites of varying capacity.  This module implements that
+exploration: pluggable controllers that, each bin, observe
+operator-visible state and issue announce/withdraw/partial actions.
+
+Controllers (in increasing information):
+
+* :class:`NullController` -- pure absorber, never acts (the paper's
+  safe default under uncertainty);
+* :class:`StaticPolicyController` -- the per-site policies of the 2015
+  deployments (what actually happened);
+* :class:`GreedyShedController` -- withdraws the most-overloaded site
+  when the remaining announced capacity has measured headroom for its
+  accepted load, and re-announces when calm -- using only visible
+  signals, so it can be wrong exactly the way the paper predicts
+  (shifted *unobserved* attack load can drown the rescuer);
+* :class:`OracleController` -- cheats with ground-truth per-site
+  offered load to compute the best single-site withdrawal set by
+  exhaustive search; an upper bound on what routing control can do.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Protocol
+
+from .observation import LetterObservation
+
+
+class ActionKind(enum.Enum):
+    """What a controller asks the routing layer to do."""
+
+    WITHDRAW = "withdraw"
+    ANNOUNCE = "announce"
+    PARTIAL = "partial"
+    RESTORE = "restore"
+
+
+@dataclass(frozen=True, slots=True)
+class Action:
+    """One controller decision for one site."""
+
+    kind: ActionKind
+    site: str
+
+
+class Controller(Protocol):
+    """Per-bin decision procedure for one letter."""
+
+    def decide(self, observation: LetterObservation) -> list[Action]:
+        """Actions to apply before the next bin."""
+        ...
+
+
+class NullController:
+    """Absorb everywhere; the no-information default."""
+
+    def decide(self, observation: LetterObservation) -> list[Action]:
+        return []
+
+
+class StaticPolicyController:
+    """Sentinel: keep the deployment's built-in §2.2 policies.
+
+    The engine treats this marker as "run ``apply_policies`` as
+    usual"; it exists so controller comparisons can name the
+    historical behaviour explicitly.
+    """
+
+    def decide(self, observation: LetterObservation) -> list[Action]:
+        raise NotImplementedError(
+            "StaticPolicyController is handled by the engine"
+        )
+
+
+@dataclass(slots=True)
+class GreedyShedController:
+    """Withdraw the worst site when the rest can visibly absorb it.
+
+    Operates on measured (not true) load: when a site is overloaded
+    and the *measured* headroom of the other announced sites exceeds
+    its accepted traffic by *safety*, withdraw it; re-announce after
+    *calm_bins* quiet bins.  Keeps at least *min_announced* sites up.
+    """
+
+    safety: float = 1.5
+    calm_bins: int = 6
+    min_announced: int = 1
+    _quiet: dict[str, int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.safety < 1.0:
+            raise ValueError("safety factor must be >= 1")
+        if self.min_announced < 1:
+            raise ValueError("must keep at least one site announced")
+        self._quiet = {}
+
+    def decide(self, observation: LetterObservation) -> list[Action]:
+        actions: list[Action] = []
+        announced = [s for s in observation.sites if s.announced]
+        withdrawn = [s for s in observation.sites if not s.announced]
+        attack_ongoing = any(s.overloaded for s in announced)
+
+        # Re-announce after sustained calm.
+        for site in withdrawn:
+            if attack_ongoing:
+                self._quiet[site.code] = 0
+                continue
+            quiet = self._quiet.get(site.code, 0) + 1
+            self._quiet[site.code] = quiet
+            if quiet >= self.calm_bins:
+                actions.append(Action(ActionKind.ANNOUNCE, site.code))
+                self._quiet[site.code] = 0
+
+        if len(announced) <= self.min_announced:
+            return actions
+
+        overloaded = [s for s in announced if s.overloaded]
+        if not overloaded:
+            return actions
+        worst = max(overloaded, key=lambda s: s.utilisation)
+        others_headroom = sum(
+            max(0.0, s.capacity_qps - s.offered_qps)
+            for s in announced
+            if s.code != worst.code
+        )
+        if others_headroom >= self.safety * worst.accepted_qps:
+            actions.append(Action(ActionKind.WITHDRAW, worst.code))
+            self._quiet[worst.code] = 0
+        return actions
+
+
+@dataclass(slots=True)
+class OracleController:
+    """Exhaustive withdrawal search with ground-truth offered load.
+
+    Receives the *true* per-site offered load each bin (via
+    :meth:`set_truth`, wired by the evaluation harness) and picks the
+    announced set that maximises served legitimate share under the
+    modelling assumption that a withdrawn site's load follows its
+    catchment to the geographically next site.  Search is limited to
+    withdrawing subsets of currently overloaded sites (the only
+    candidates that can help), keeping it tractable.
+    """
+
+    max_withdrawals: int = 2
+    _true_offered: dict[str, float] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.max_withdrawals < 0:
+            raise ValueError("max_withdrawals cannot be negative")
+        self._true_offered = {}
+
+    def set_truth(self, offered_by_site: dict[str, float]) -> None:
+        """Provide ground-truth offered load for the coming decision."""
+        self._true_offered = dict(offered_by_site)
+
+    def decide(self, observation: LetterObservation) -> list[Action]:
+        actions: list[Action] = []
+        announced = [s for s in observation.sites if s.announced]
+        # Oracle knows when the attack is over: re-announce everything.
+        attack = sum(self._true_offered.values()) > 2 * sum(
+            s.capacity_qps for s in observation.sites
+        ) * 0.05
+        if not attack:
+            for site in observation.sites:
+                if not site.announced:
+                    actions.append(Action(ActionKind.ANNOUNCE, site.code))
+            return actions
+
+        overloaded = [
+            s for s in announced
+            if self._true_offered.get(s.code, 0.0) > s.capacity_qps
+        ]
+        if not overloaded or len(announced) <= 1:
+            return actions
+
+        def served_fraction(withdrawn: set[str]) -> float:
+            keep = [s for s in announced if s.code not in withdrawn]
+            if not keep:
+                return 0.0
+            # Withdrawn sites' load moves to the remaining site with
+            # the most capacity (the dominant-attractor approximation
+            # observed in Fig. 10).
+            moved = sum(
+                self._true_offered.get(code, 0.0) for code in withdrawn
+            )
+            attractor = max(keep, key=lambda s: s.capacity_qps)
+            total_served = 0.0
+            total_offered = 0.0
+            for site in keep:
+                offered = self._true_offered.get(site.code, 0.0)
+                if site.code == attractor.code:
+                    offered += moved
+                total_offered += offered
+                total_served += min(offered, site.capacity_qps)
+            if total_offered <= 0:
+                return 1.0
+            return total_served / total_offered
+
+        best_set: set[str] = set()
+        best = served_fraction(best_set)
+        codes = [s.code for s in overloaded]
+        for k in range(1, self.max_withdrawals + 1):
+            for combo in itertools.combinations(codes, k):
+                candidate = set(combo)
+                if len(candidate) >= len(announced):
+                    continue
+                score = served_fraction(candidate)
+                if score > best + 1e-9:
+                    best, best_set = score, candidate
+        for code in sorted(best_set):
+            actions.append(Action(ActionKind.WITHDRAW, code))
+        return actions

@@ -1,0 +1,92 @@
+"""What an anycast operator can actually see during an attack.
+
+The paper stresses (section 2.2) that optimal defense needs
+information operators do not have: attack volume beyond capacity is
+unmeasurable (the excess is dropped upstream), attacker locations are
+hidden by spoofing, and route-change effects are hard to predict.
+
+A controller therefore receives only *operator-visible* signals:
+
+* per-site **accepted** load (what the servers answered),
+* per-site **drop** rate at the ingress (interface counters),
+* the announcement state the operator itself controls.
+
+Everything else must be estimated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SiteObservation:
+    """One site's operator-visible state for one bin."""
+
+    code: str
+    capacity_qps: float
+    accepted_qps: float
+    dropped_qps: float
+    announced: bool
+    partial: bool
+
+    def __post_init__(self) -> None:
+        if self.capacity_qps <= 0:
+            raise ValueError("capacity must be positive")
+        if self.accepted_qps < 0 or self.dropped_qps < 0:
+            raise ValueError("rates cannot be negative")
+
+    @property
+    def offered_qps(self) -> float:
+        """Measured offered load (accepted + locally observed drops).
+
+        This *understates* true offered load when drops happen
+        upstream of the ingress counters -- exactly the measurement
+        gap the paper describes.
+        """
+        return self.accepted_qps + self.dropped_qps
+
+    @property
+    def utilisation(self) -> float:
+        """Measured offered load over capacity."""
+        return self.offered_qps / self.capacity_qps
+
+    @property
+    def overloaded(self) -> bool:
+        return self.utilisation > 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class LetterObservation:
+    """Operator view of one letter for one bin."""
+
+    letter: str
+    bin_index: int
+    sites: tuple[SiteObservation, ...]
+
+    def site(self, code: str) -> SiteObservation:
+        for site in self.sites:
+            if site.code == code:
+                return site
+        raise KeyError(f"no observation for site {code!r}")
+
+    @property
+    def total_accepted_qps(self) -> float:
+        return sum(s.accepted_qps for s in self.sites)
+
+    @property
+    def total_dropped_qps(self) -> float:
+        return sum(s.dropped_qps for s in self.sites)
+
+    @property
+    def announced_codes(self) -> tuple[str, ...]:
+        return tuple(s.code for s in self.sites if s.announced)
+
+    @property
+    def headroom_qps(self) -> float:
+        """Spare capacity across announced, non-overloaded sites."""
+        return sum(
+            max(0.0, s.capacity_qps - s.offered_qps)
+            for s in self.sites
+            if s.announced
+        )

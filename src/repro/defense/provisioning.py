@@ -1,0 +1,138 @@
+"""Capacity planning against an observed attack (paper section 5).
+
+The paper's closing direction: "while additional anycast sites
+increase capacity, our work shows the importance of managing traffic
+across diverse sites (varying in capacity), since attackers are often
+unevenly distributed."  This module turns a simulated event into an
+upgrade plan: given the ground-truth per-site peak loads, how many
+servers would each site have needed to absorb its own catchment's
+share of the attack -- and how does that compare with concentrating
+capacity at the big attractors instead?
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.results import TableResult
+from ..rootdns.deployment import LetterDeployment
+from ..scenario.engine import LetterTruth
+
+
+@dataclass(frozen=True, slots=True)
+class SitePlan:
+    """Upgrade requirement for one site."""
+
+    site: str
+    peak_offered_qps: float
+    capacity_qps: float
+    deficit_qps: float
+    extra_servers: int
+
+    def __post_init__(self) -> None:
+        if self.extra_servers < 0:
+            raise ValueError("extra_servers cannot be negative")
+
+
+@dataclass(frozen=True, slots=True)
+class ProvisioningPlan:
+    """The letter-wide upgrade plan."""
+
+    letter: str
+    sites: tuple[SitePlan, ...]
+    target_utilisation: float
+
+    @property
+    def total_extra_servers(self) -> int:
+        return sum(s.extra_servers for s in self.sites)
+
+    @property
+    def deficient_sites(self) -> tuple[SitePlan, ...]:
+        return tuple(s for s in self.sites if s.extra_servers > 0)
+
+
+def provisioning_plan(
+    deployment: LetterDeployment,
+    truth: LetterTruth,
+    target_utilisation: float = 0.8,
+) -> ProvisioningPlan:
+    """Servers each site needed to absorb its observed peak load.
+
+    *target_utilisation* leaves operating headroom: capacity is sized
+    so the peak offered load stays below that fraction of it.
+    """
+    if not 0.0 < target_utilisation <= 1.0:
+        raise ValueError("target_utilisation must be within (0, 1]")
+    plans = []
+    peaks = truth.offered_qps.max(axis=0)
+    for i, code in enumerate(deployment.site_order):
+        spec = deployment.site_spec(code)
+        peak = float(peaks[i])
+        needed_capacity = peak / target_utilisation
+        deficit = max(0.0, needed_capacity - spec.capacity_qps)
+        extra = math.ceil(deficit / spec.per_server_qps)
+        plans.append(
+            SitePlan(
+                site=spec.label(deployment.letter),
+                peak_offered_qps=peak,
+                capacity_qps=spec.capacity_qps,
+                deficit_qps=deficit,
+                extra_servers=extra,
+            )
+        )
+    plans.sort(key=lambda p: -p.deficit_qps)
+    return ProvisioningPlan(
+        letter=deployment.letter,
+        sites=tuple(plans),
+        target_utilisation=target_utilisation,
+    )
+
+
+def provisioning_table(plan: ProvisioningPlan, top: int = 10) -> TableResult:
+    """The plan's most deficient sites as a table."""
+    rows = []
+    for site in plan.sites[:top]:
+        rows.append(
+            (
+                site.site,
+                round(site.peak_offered_qps / 1e3),
+                round(site.capacity_qps / 1e3),
+                round(site.deficit_qps / 1e3),
+                site.extra_servers,
+            )
+        )
+    rows.append(
+        ("TOTAL", "-", "-", "-", plan.total_extra_servers)
+    )
+    return TableResult(
+        title=(
+            f"Provisioning plan for {plan.letter}-Root "
+            f"(target utilisation {plan.target_utilisation:.0%})"
+        ),
+        headers=("site", "peak kq/s", "cap kq/s", "deficit kq/s",
+                 "+servers"),
+        rows=tuple(rows),
+    )
+
+
+def aggregate_vs_placed(
+    deployment: LetterDeployment, truth: LetterTruth
+) -> tuple[float, float]:
+    """(aggregate utilisation, worst site utilisation) at the peak bin.
+
+    The paper's point in one pair of numbers: a letter can have ample
+    *aggregate* capacity while unevenly distributed attackers overload
+    individual sites.
+    """
+    offered = truth.offered_qps
+    capacity = deployment.capacity_by_site()
+    totals = offered.sum(axis=1)
+    peak_bin = int(np.argmax(totals))
+    aggregate = float(totals[peak_bin] / capacity.sum())
+    with np.errstate(divide="ignore", invalid="ignore"):
+        per_site = offered[peak_bin] / capacity
+    worst = float(np.nanmax(per_site))
+    return aggregate, worst

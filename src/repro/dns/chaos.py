@@ -1,0 +1,183 @@
+"""CHAOS-class server identification, per root letter.
+
+A CHAOS TXT query for ``hostname.bind`` (RFC 4892) returns an identifier
+naming the specific server that answered.  The paper (section 2.1) notes
+that each letter follows its own identifier pattern, which -- properly
+interpreted -- reveals both the anycast *site* and the individual
+*server* behind a site's load balancer.  Prior work validated CHAOS
+site-mapping against traceroute [Fan et al. 2013].
+
+This module defines one identifier style per letter (modelled after the
+styles the real operators used in 2015), a formatter used by the
+simulated servers, and a parser used by the measurement pipeline.  The
+parser doubles as the hijack detector: replies that match no known
+pattern for the queried letter are candidate third-party interceptions
+(paper section 2.4.1).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .message import Message, make_query, make_txt_response
+from .rcode import CHAOS_HOSTNAME_BIND, QClass, QType
+
+#: The 13 root letters.
+LETTERS = tuple("ABCDEFGHIJKLM")
+
+
+@dataclass(frozen=True, slots=True)
+class ServerIdentity:
+    """A parsed CHAOS identity: which site and which server answered."""
+
+    letter: str
+    site: str
+    server: int
+
+    def __post_init__(self) -> None:
+        if self.letter not in LETTERS:
+            raise ValueError(f"unknown letter {self.letter!r}")
+        if self.server < 1:
+            raise ValueError("server numbers start at 1")
+
+    @property
+    def site_label(self) -> str:
+        """The paper's normalized ``X-APT`` site label."""
+        return f"{self.letter}-{self.site}"
+
+    @property
+    def server_label(self) -> str:
+        """A label like ``K-FRA-S2`` (paper's Figs. 12-13)."""
+        return f"{self.letter}-{self.site}-S{self.server}"
+
+
+@dataclass(frozen=True, slots=True)
+class IdentityStyle:
+    """Formatter/parser pair for one letter's CHAOS identifier style."""
+
+    letter: str
+    template: str
+    pattern: re.Pattern[str]
+
+    def format(self, site: str, server: int) -> str:
+        """Render the identity string a server returns."""
+        return self.template.format(
+            site=site.lower(), SITE=site.upper(), server=server
+        )
+
+    def parse(self, text: str) -> ServerIdentity | None:
+        """Parse an identity string; ``None`` if it does not match."""
+        match = self.pattern.fullmatch(text.strip())
+        if match is None:
+            return None
+        return ServerIdentity(
+            letter=self.letter,
+            site=match.group("site").upper(),
+            server=int(match.group("server")),
+        )
+
+
+def _style(letter: str, template: str, pattern: str) -> IdentityStyle:
+    return IdentityStyle(letter, template, re.compile(pattern))
+
+_SITE = r"(?P<site>[A-Za-z]{3})"
+_SERVER = r"(?P<server>\d+)"
+
+#: One identifier style per letter, keyed by letter.
+IDENTITY_STYLES: dict[str, IdentityStyle] = {
+    style.letter: style
+    for style in (
+        _style("A", "nnn{server}-{site}", rf"nnn{_SERVER}-{_SITE}"),
+        _style("B", "b{server}-{site}", rf"b{_SERVER}-{_SITE}"),
+        _style(
+            "C",
+            "{site}{server}.c.root-servers.org",
+            rf"{_SITE}{_SERVER}\.c\.root-servers\.org",
+        ),
+        _style("D", "rootns-{site}{server}", rf"rootns-{_SITE}{_SERVER}"),
+        _style("E", "e{server}.{site}.eroot", rf"e{_SERVER}\.{_SITE}\.eroot"),
+        _style(
+            "F",
+            "{site}{server}a.f.root-servers.org",
+            rf"{_SITE}{_SERVER}a\.f\.root-servers\.org",
+        ),
+        _style("G", "groot-{site}-{server}", rf"groot-{_SITE}-{_SERVER}"),
+        _style(
+            "H",
+            "{server:03d}.{site}.h.root-servers.org",
+            rf"{_SERVER}\.{_SITE}\.h\.root-servers\.org",
+        ),
+        _style("I", "s{server}.{site}", rf"s{_SERVER}\.{_SITE}"),
+        _style("J", "rootns-{site}{server}.j", rf"rootns-{_SITE}{_SERVER}\.j"),
+        _style(
+            "K",
+            "ns{server}.{site}.k.ripe.net",
+            rf"ns{_SERVER}\.{_SITE}\.k\.ripe\.net",
+        ),
+        _style(
+            "L",
+            "{site}{server}.l.root-servers.org",
+            rf"{_SITE}{_SERVER}\.l\.root-servers\.org",
+        ),
+        _style(
+            "M",
+            "m{server}.{site}.m.root-servers.org",
+            rf"m{_SERVER}\.{_SITE}\.m\.root-servers\.org",
+        ),
+    )
+}
+
+if set(IDENTITY_STYLES) != set(LETTERS):  # pragma: no cover - table sanity
+    raise AssertionError("identity style table incomplete")
+
+
+def format_identity(letter: str, site: str, server: int) -> str:
+    """The CHAOS identity string for *server* at *site* of *letter*."""
+    try:
+        style = IDENTITY_STYLES[letter]
+    except KeyError:
+        raise ValueError(f"unknown letter {letter!r}") from None
+    return style.format(site, server)
+
+
+def parse_identity(letter: str, text: str) -> ServerIdentity | None:
+    """Parse a CHAOS reply string against *letter*'s known pattern.
+
+    Returns ``None`` when the reply does not match, which the cleaning
+    pipeline treats as evidence of interception (section 2.4.1).
+    """
+    try:
+        style = IDENTITY_STYLES[letter]
+    except KeyError:
+        raise ValueError(f"unknown letter {letter!r}") from None
+    return style.parse(text)
+
+
+def matches_any_letter(text: str) -> str | None:
+    """Return the letter whose pattern matches *text*, if any."""
+    for letter, style in IDENTITY_STYLES.items():
+        if style.parse(text) is not None:
+            return letter
+    return None
+
+
+def make_chaos_query(msg_id: int, qname: str = CHAOS_HOSTNAME_BIND) -> Message:
+    """The CHAOS TXT query RIPE Atlas sends every probing interval."""
+    return make_query(msg_id, qname, qtype=QType.TXT, qclass=QClass.CH)
+
+
+def make_chaos_reply(query: Message, letter: str, site: str, server: int) -> Message:
+    """The TXT response a simulated root server returns to a CHAOS query."""
+    return make_txt_response(query, [format_identity(letter, site, server)])
+
+
+def identity_from_reply(letter: str, reply: Message) -> ServerIdentity | None:
+    """Extract and parse the identity carried in a CHAOS TXT *reply*."""
+    for record in reply.answers:
+        if record.rtype is QType.TXT:
+            for text in record.txt_strings():
+                identity = parse_identity(letter, text)
+                if identity is not None:
+                    return identity
+    return None

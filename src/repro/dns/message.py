@@ -1,0 +1,315 @@
+"""DNS message wire format: header, question, resource records.
+
+Implements enough of RFC 1035 to build and parse the traffic the
+reproduction exchanges: standard queries (the attack's fixed-name
+queries, baseline resolver queries) and responses carrying TXT records
+(the CHAOS ``hostname.bind`` replies the measurement platform parses to
+identify anycast sites and servers).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from .name import decode_name, encode_name, normalize_name
+from .rcode import Opcode, QClass, QType, Rcode
+
+_HEADER = struct.Struct("!HHHHHH")
+
+_FLAG_QR = 0x8000
+_FLAG_AA = 0x0400
+_FLAG_TC = 0x0200
+_FLAG_RD = 0x0100
+_FLAG_RA = 0x0080
+_OPCODE_SHIFT = 11
+_OPCODE_MASK = 0xF
+_RCODE_MASK = 0xF
+
+
+class MessageError(ValueError):
+    """Raised when a wire message cannot be parsed."""
+
+
+@dataclass(frozen=True, slots=True)
+class Header:
+    """The fixed 12-byte DNS header."""
+
+    msg_id: int
+    qr: bool = False
+    opcode: Opcode = Opcode.QUERY
+    aa: bool = False
+    tc: bool = False
+    rd: bool = False
+    ra: bool = False
+    rcode: Rcode = Rcode.NOERROR
+    qdcount: int = 0
+    ancount: int = 0
+    nscount: int = 0
+    arcount: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.msg_id <= 0xFFFF:
+            raise ValueError(f"message id out of range: {self.msg_id}")
+
+    def encode(self) -> bytes:
+        flags = (int(self.opcode) & _OPCODE_MASK) << _OPCODE_SHIFT
+        flags |= int(self.rcode) & _RCODE_MASK
+        if self.qr:
+            flags |= _FLAG_QR
+        if self.aa:
+            flags |= _FLAG_AA
+        if self.tc:
+            flags |= _FLAG_TC
+        if self.rd:
+            flags |= _FLAG_RD
+        if self.ra:
+            flags |= _FLAG_RA
+        return _HEADER.pack(
+            self.msg_id,
+            flags,
+            self.qdcount,
+            self.ancount,
+            self.nscount,
+            self.arcount,
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Header":
+        if len(data) < _HEADER.size:
+            raise MessageError("message shorter than DNS header")
+        msg_id, flags, qd, an, ns, ar = _HEADER.unpack_from(data)
+        return cls(
+            msg_id=msg_id,
+            qr=bool(flags & _FLAG_QR),
+            opcode=Opcode((flags >> _OPCODE_SHIFT) & _OPCODE_MASK),
+            aa=bool(flags & _FLAG_AA),
+            tc=bool(flags & _FLAG_TC),
+            rd=bool(flags & _FLAG_RD),
+            ra=bool(flags & _FLAG_RA),
+            rcode=Rcode(flags & _RCODE_MASK),
+            qdcount=qd,
+            ancount=an,
+            nscount=ns,
+            arcount=ar,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Question:
+    """One entry of the question section."""
+
+    qname: str
+    qtype: QType = QType.A
+    qclass: QClass = QClass.IN
+
+    def encode(self) -> bytes:
+        return encode_name(self.qname) + struct.pack(
+            "!HH", int(self.qtype), int(self.qclass)
+        )
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> tuple["Question", int]:
+        qname, offset = decode_name(data, offset)
+        if offset + 4 > len(data):
+            raise MessageError("truncated question")
+        qtype, qclass = struct.unpack_from("!HH", data, offset)
+        return (
+            cls(qname=qname, qtype=QType(qtype), qclass=QClass(qclass)),
+            offset + 4,
+        )
+
+
+def encode_txt_rdata(strings: list[str]) -> bytes:
+    """RDATA of a TXT record: length-prefixed character strings."""
+    out = bytearray()
+    for text in strings:
+        raw = text.encode("ascii")
+        if len(raw) > 255:
+            raise ValueError(f"TXT string too long: {text!r}")
+        out.append(len(raw))
+        out.extend(raw)
+    return bytes(out)
+
+
+def decode_txt_rdata(rdata: bytes) -> list[str]:
+    """Inverse of :func:`encode_txt_rdata`."""
+    strings = []
+    pos = 0
+    while pos < len(rdata):
+        length = rdata[pos]
+        pos += 1
+        if pos + length > len(rdata):
+            raise MessageError("truncated TXT character-string")
+        strings.append(rdata[pos : pos + length].decode("ascii"))
+        pos += length
+    return strings
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceRecord:
+    """A resource record; RDATA is kept as raw bytes."""
+
+    name: str
+    rtype: QType
+    rclass: QClass
+    ttl: int
+    rdata: bytes
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ttl <= 0xFFFFFFFF:
+            raise ValueError(f"ttl out of range: {self.ttl}")
+        if len(self.rdata) > 0xFFFF:
+            raise ValueError("rdata too long")
+
+    def encode(self) -> bytes:
+        return (
+            encode_name(self.name)
+            + struct.pack(
+                "!HHIH",
+                int(self.rtype),
+                int(self.rclass),
+                self.ttl,
+                len(self.rdata),
+            )
+            + self.rdata
+        )
+
+    @classmethod
+    def decode(cls, data: bytes, offset: int) -> tuple["ResourceRecord", int]:
+        name, offset = decode_name(data, offset)
+        if offset + 10 > len(data):
+            raise MessageError("truncated resource record")
+        rtype, rclass, ttl, rdlength = struct.unpack_from("!HHIH", data, offset)
+        offset += 10
+        if offset + rdlength > len(data):
+            raise MessageError("resource record rdata runs past message")
+        rdata = data[offset : offset + rdlength]
+        return (
+            cls(
+                name=name,
+                rtype=QType(rtype),
+                rclass=QClass(rclass),
+                ttl=ttl,
+                rdata=rdata,
+            ),
+            offset + rdlength,
+        )
+
+    def txt_strings(self) -> list[str]:
+        """Decode this record's RDATA as TXT character strings."""
+        if self.rtype is not QType.TXT:
+            raise ValueError(f"not a TXT record: {self.rtype!r}")
+        return decode_txt_rdata(self.rdata)
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """A full DNS message: header plus the four record sections."""
+
+    header: Header
+    questions: tuple[Question, ...] = ()
+    answers: tuple[ResourceRecord, ...] = field(default=())
+    authorities: tuple[ResourceRecord, ...] = field(default=())
+    additionals: tuple[ResourceRecord, ...] = field(default=())
+
+    def encode(self) -> bytes:
+        header = Header(
+            msg_id=self.header.msg_id,
+            qr=self.header.qr,
+            opcode=self.header.opcode,
+            aa=self.header.aa,
+            tc=self.header.tc,
+            rd=self.header.rd,
+            ra=self.header.ra,
+            rcode=self.header.rcode,
+            qdcount=len(self.questions),
+            ancount=len(self.answers),
+            nscount=len(self.authorities),
+            arcount=len(self.additionals),
+        )
+        parts = [header.encode()]
+        parts.extend(q.encode() for q in self.questions)
+        for section in (self.answers, self.authorities, self.additionals):
+            parts.extend(rr.encode() for rr in section)
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Message":
+        header = Header.decode(data)
+        offset = _HEADER.size
+        questions = []
+        for _ in range(header.qdcount):
+            question, offset = Question.decode(data, offset)
+            questions.append(question)
+        sections: list[list[ResourceRecord]] = []
+        for count in (header.ancount, header.nscount, header.arcount):
+            records = []
+            for _ in range(count):
+                record, offset = ResourceRecord.decode(data, offset)
+                records.append(record)
+            sections.append(records)
+        return cls(
+            header=header,
+            questions=tuple(questions),
+            answers=tuple(sections[0]),
+            authorities=tuple(sections[1]),
+            additionals=tuple(sections[2]),
+        )
+
+    @property
+    def wire_size(self) -> int:
+        """Size of the encoded message in bytes."""
+        return len(self.encode())
+
+
+def make_query(
+    msg_id: int,
+    qname: str,
+    qtype: QType = QType.A,
+    qclass: QClass = QClass.IN,
+    rd: bool = False,
+) -> Message:
+    """Build a standard single-question query message."""
+    return Message(
+        header=Header(msg_id=msg_id, rd=rd, qdcount=1),
+        questions=(Question(normalize_name(qname), qtype, qclass),),
+    )
+
+
+def make_response(
+    query: Message,
+    rcode: Rcode = Rcode.NOERROR,
+    answers: tuple[ResourceRecord, ...] = (),
+    aa: bool = True,
+) -> Message:
+    """Build a response echoing *query*'s id and question."""
+    return Message(
+        header=Header(
+            msg_id=query.header.msg_id,
+            qr=True,
+            opcode=query.header.opcode,
+            aa=aa,
+            rd=query.header.rd,
+            rcode=rcode,
+            qdcount=len(query.questions),
+            ancount=len(answers),
+        ),
+        questions=query.questions,
+        answers=answers,
+    )
+
+
+def make_txt_response(query: Message, strings: list[str], ttl: int = 0) -> Message:
+    """Build a TXT response to *query* (the CHAOS reply shape)."""
+    if not query.questions:
+        raise ValueError("query carries no question")
+    question = query.questions[0]
+    record = ResourceRecord(
+        name=question.qname,
+        rtype=QType.TXT,
+        rclass=question.qclass,
+        ttl=ttl,
+        rdata=encode_txt_rdata(strings),
+    )
+    return make_response(query, answers=(record,))

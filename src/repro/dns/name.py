@@ -1,0 +1,109 @@
+"""DNS domain-name encoding and decoding (RFC 1035 section 3.1).
+
+Names are sequences of labels.  On the wire each label is a length octet
+followed by that many bytes; the name ends with a zero-length label.
+Decoding supports RFC 1035 message compression (pointer labels), which
+real responses use heavily; encoding always emits the uncompressed form,
+which is valid and keeps the encoder simple.
+"""
+
+from __future__ import annotations
+
+MAX_LABEL_LENGTH = 63
+MAX_NAME_LENGTH = 255
+
+#: Top two bits set in a length octet mark a compression pointer.
+_POINTER_MASK = 0xC0
+
+
+class NameError_(ValueError):
+    """Raised for malformed names (wire or presentation form)."""
+
+
+def split_labels(name: str) -> list[bytes]:
+    """Split a presentation-form name into its labels as bytes.
+
+    The root name is spelled ``"."`` or ``""`` and has no labels.
+    A single trailing dot is accepted and ignored.
+    """
+    if name in ("", "."):
+        return []
+    if name.endswith("."):
+        name = name[:-1]
+    labels = []
+    for part in name.split("."):
+        if not part:
+            raise NameError_(f"empty label in {name!r}")
+        raw = part.encode("ascii", errors="strict")
+        if len(raw) > MAX_LABEL_LENGTH:
+            raise NameError_(f"label too long in {name!r}: {part!r}")
+        labels.append(raw)
+    return labels
+
+
+def encode_name(name: str) -> bytes:
+    """Encode a presentation-form name to uncompressed wire form."""
+    labels = split_labels(name)
+    out = bytearray()
+    for label in labels:
+        out.append(len(label))
+        out.extend(label)
+    out.append(0)
+    if len(out) > MAX_NAME_LENGTH:
+        raise NameError_(f"name too long: {name!r}")
+    return bytes(out)
+
+
+def decode_name(data: bytes, offset: int) -> tuple[str, int]:
+    """Decode a (possibly compressed) name from *data* at *offset*.
+
+    Returns ``(name, next_offset)`` where *next_offset* is the offset of
+    the first byte after the name *in the original (uncompressed) byte
+    stream* -- i.e. following a pointer does not advance it.
+    """
+    labels: list[str] = []
+    jumped = False
+    next_offset = offset
+    seen_pointers: set[int] = set()
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise NameError_("name runs past end of message")
+        length = data[pos]
+        if length & _POINTER_MASK == _POINTER_MASK:
+            if pos + 1 >= len(data):
+                raise NameError_("truncated compression pointer")
+            target = ((length & ~_POINTER_MASK) << 8) | data[pos + 1]
+            if target in seen_pointers:
+                raise NameError_("compression pointer loop")
+            if target >= pos:
+                raise NameError_("forward compression pointer")
+            seen_pointers.add(target)
+            if not jumped:
+                next_offset = pos + 2
+                jumped = True
+            pos = target
+            continue
+        if length & _POINTER_MASK:
+            raise NameError_(f"reserved label type 0x{length:02x}")
+        pos += 1
+        if length == 0:
+            break
+        if pos + length > len(data):
+            raise NameError_("label runs past end of message")
+        labels.append(data[pos : pos + length].decode("ascii"))
+        pos += length
+    if not jumped:
+        next_offset = pos
+    name = ".".join(labels) + "."
+    if name == ".":
+        return ".", next_offset
+    return name, next_offset
+
+
+def normalize_name(name: str) -> str:
+    """Canonical presentation form: lowercase with one trailing dot."""
+    labels = split_labels(name)
+    if not labels:
+        return "."
+    return ".".join(label.decode("ascii").lower() for label in labels) + "."

@@ -1,0 +1,59 @@
+"""DNS constants: response codes, opcodes, classes, and record types.
+
+Only the subset exercised by the reproduction is defined: the root
+letters answer ordinary IN queries plus CHAOS TXT diagnostic queries
+(paper section 2.1), and stressed servers surface SERVFAIL/REFUSED
+(the "response error code" outcomes of section 2.4.1).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Rcode(enum.IntEnum):
+    """Response codes (RFC 1035 and friends)."""
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+
+
+class Opcode(enum.IntEnum):
+    """Query opcodes; the reproduction only issues standard queries."""
+
+    QUERY = 0
+    IQUERY = 1
+    STATUS = 2
+
+
+class QClass(enum.IntEnum):
+    """Query classes; CHAOS (CH) carries the diagnostic queries."""
+
+    IN = 1
+    CH = 3
+    ANY = 255
+
+
+class QType(enum.IntEnum):
+    """Record types used in the reproduction."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    TXT = 16
+    AAAA = 28
+    ANY = 255
+
+
+#: The query names the attack used (paper section 2.3).
+ATTACK_QNAME_NOV30 = "www.336901.com."
+ATTACK_QNAME_DEC1 = "www.916yy.com."
+
+#: Diagnostic names a CHAOS TXT query may carry (RFC 4892).
+CHAOS_HOSTNAME_BIND = "hostname.bind."
+CHAOS_ID_SERVER = "id.server."

@@ -1,0 +1,125 @@
+"""Response Rate Limiting (RRL), as deployed by root operators.
+
+Verisign reported that RRL identified duplicated queries and dropped
+about 60 % of responses during the events (paper section 2.3).  RRL
+tracks (source, qname) tuples over a sliding window and suppresses
+responses beyond a per-tuple rate; a configurable "slip" lets every
+n-th suppressed response through as a truncated reply.
+
+Two interfaces are provided:
+
+* :class:`ResponseRateLimiter` -- a packet-level limiter for
+  fine-grained simulation and testing.
+* :func:`suppression_fraction` -- an analytic shortcut used by the
+  day-granularity RSSAC-002 collector, giving the fraction of responses
+  suppressed for a traffic mix with a given duplicate ratio.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+
+
+class RrlAction(enum.Enum):
+    """What the limiter decided for one response."""
+
+    SEND = "send"
+    DROP = "drop"
+    SLIP = "slip"  # send a truncated response instead of dropping
+
+
+@dataclass(slots=True)
+class _TupleState:
+    """Sliding-window state for one (source, qname) tuple."""
+
+    timestamps: deque[float] = field(default_factory=deque)
+    suppressed_since_slip: int = 0
+
+
+class ResponseRateLimiter:
+    """Per-(source, qname) response rate limiter.
+
+    Parameters
+    ----------
+    responses_per_second:
+        Allowed responses per tuple per second (BIND's default is 5~ish;
+        root operators tune this down for attack traffic).
+    window_seconds:
+        Length of the sliding accounting window.
+    slip:
+        Every *slip*-th suppressed response is sent truncated instead of
+        dropped (0 disables slip entirely).
+    """
+
+    def __init__(
+        self,
+        responses_per_second: float = 5.0,
+        window_seconds: float = 15.0,
+        slip: int = 2,
+    ) -> None:
+        if responses_per_second <= 0:
+            raise ValueError("responses_per_second must be positive")
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if slip < 0:
+            raise ValueError("slip must be non-negative")
+        self.responses_per_second = responses_per_second
+        self.window_seconds = window_seconds
+        self.slip = slip
+        self._states: dict[tuple[str, str], _TupleState] = {}
+        self.sent = 0
+        self.dropped = 0
+        self.slipped = 0
+
+    def account(self, source: str, qname: str, now: float) -> RrlAction:
+        """Account one response and return the limiter's decision."""
+        key = (source, qname)
+        state = self._states.get(key)
+        if state is None:
+            state = _TupleState()
+            self._states[key] = state
+        horizon = now - self.window_seconds
+        while state.timestamps and state.timestamps[0] <= horizon:
+            state.timestamps.popleft()
+        budget = self.responses_per_second * self.window_seconds
+        if len(state.timestamps) < budget:
+            state.timestamps.append(now)
+            self.sent += 1
+            return RrlAction.SEND
+        state.suppressed_since_slip += 1
+        if self.slip and state.suppressed_since_slip >= self.slip:
+            state.suppressed_since_slip = 0
+            self.slipped += 1
+            return RrlAction.SLIP
+        self.dropped += 1
+        return RrlAction.DROP
+
+    @property
+    def suppression_ratio(self) -> float:
+        """Fraction of accounted responses that were not sent in full."""
+        total = self.sent + self.dropped + self.slipped
+        if total == 0:
+            return 0.0
+        return (self.dropped + self.slipped) / total
+
+
+def suppression_fraction(
+    duplicate_ratio: float, rrl_effectiveness: float = 0.9
+) -> float:
+    """Analytic response-suppression fraction for a traffic mix.
+
+    *duplicate_ratio* is the fraction of queries that repeat a
+    (source, qname) tuple beyond the allowed rate -- for the 2015 events
+    the top 200 sources sent 68 % of queries with fixed names, so the
+    duplicate ratio is high.  *rrl_effectiveness* is the fraction of
+    those duplicates RRL actually catches.  Verisign reported ~60 %
+    response suppression overall (section 2.3); with the event's
+    duplicate ratio this calls for effectiveness near 0.9.
+    """
+    if not 0.0 <= duplicate_ratio <= 1.0:
+        raise ValueError("duplicate_ratio must be within [0, 1]")
+    if not 0.0 <= rrl_effectiveness <= 1.0:
+        raise ValueError("rrl_effectiveness must be within [0, 1]")
+    return duplicate_ratio * rrl_effectiveness

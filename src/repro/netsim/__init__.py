@@ -1,0 +1,41 @@
+"""Network substrate: AS graph, BGP propagation, topology, overload."""
+
+from .anycast import AnycastPrefix, RouteChangeRecord
+from .asgraph import ASGraph, AsNode, AsRole, Relationship
+from .bgp import (
+    Origin,
+    Route,
+    RouteClass,
+    RoutingTable,
+    Scope,
+    propagate,
+)
+from .queueing import OverloadModel
+from .topology import (
+    ATLAS_REGION_WEIGHTS,
+    TRANSIT_METROS,
+    Topology,
+    TopologyConfig,
+    build_topology,
+)
+
+__all__ = [
+    "ASGraph",
+    "ATLAS_REGION_WEIGHTS",
+    "AnycastPrefix",
+    "AsNode",
+    "AsRole",
+    "Origin",
+    "OverloadModel",
+    "Relationship",
+    "Route",
+    "RouteChangeRecord",
+    "RouteClass",
+    "RoutingTable",
+    "Scope",
+    "TRANSIT_METROS",
+    "Topology",
+    "TopologyConfig",
+    "build_topology",
+    "propagate",
+]

@@ -1,0 +1,155 @@
+"""Anycast prefix state: which sites announce, and the resulting routes.
+
+One :class:`AnycastPrefix` models one root letter's service address.
+Sites can be withdrawn and re-announced over time (the paper's
+"withdraw" policy and post-event recovery); the best-route table is
+recomputed on demand and cached per announcement set, since the same
+sets recur (before/during/after each event).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .asgraph import ASGraph
+from .bgp import Origin, RoutingTable, propagate
+
+
+@dataclass(frozen=True, slots=True)
+class RouteChangeRecord:
+    """One routing transition, for BGP collectors to observe."""
+
+    timestamp: float
+    changed_asns: frozenset[int]
+
+
+class AnycastPrefix:
+    """The announcement state of one anycast service (one letter)."""
+
+    def __init__(self, graph: ASGraph, origins: list[Origin]) -> None:
+        if not origins:
+            raise ValueError("an anycast prefix needs at least one origin")
+        sites = [o.site for o in origins]
+        if len(set(sites)) != len(sites):
+            raise ValueError("duplicate site ids among origins")
+        self.graph = graph
+        self._origins = {o.site: o for o in origins}
+        self._announced = {o.site: True for o in origins}
+        self._blocked: dict[str, frozenset[int]] = {
+            o.site: o.blocked_neighbors for o in origins
+        }
+        self._cache: dict[tuple, RoutingTable] = {}
+        self._change_log: list[RouteChangeRecord] = []
+
+    @property
+    def sites(self) -> list[str]:
+        """All site ids, announced or not."""
+        return list(self._origins)
+
+    def origin(self, site: str) -> Origin:
+        """The origin definition of *site*."""
+        try:
+            return self._origins[site]
+        except KeyError:
+            raise KeyError(f"unknown site {site!r}") from None
+
+    def is_announced(self, site: str) -> bool:
+        """Whether *site* currently announces the prefix."""
+        if site not in self._origins:
+            raise KeyError(f"unknown site {site!r}")
+        return self._announced[site]
+
+    def announced_sites(self) -> frozenset[str]:
+        """The set of currently announced sites."""
+        return frozenset(s for s, up in self._announced.items() if up)
+
+    def blocked_neighbors(self, site: str) -> frozenset[int]:
+        """Neighbors *site* currently refuses to export to."""
+        if site not in self._origins:
+            raise KeyError(f"unknown site {site!r}")
+        return self._blocked[site]
+
+    def _state_key(self) -> tuple:
+        announced = self.announced_sites()
+        return (
+            announced,
+            tuple(sorted((s, self._blocked[s]) for s in announced)),
+        )
+
+    def routing(self) -> RoutingTable:
+        """Best routes for the current announcement state (cached)."""
+        key = self._state_key()
+        table = self._cache.get(key)
+        if table is None:
+            origins = [
+                self._origins[s].with_blocked(self._blocked[s])
+                for s in sorted(key[0])
+            ]
+            table = (
+                propagate(self.graph, origins)
+                if origins
+                else RoutingTable({})
+            )
+            self._cache[key] = table
+        return table
+
+    def set_announced(self, site: str, up: bool, timestamp: float) -> bool:
+        """Announce or withdraw *site*; log the routing delta.
+
+        Returns ``True`` if the state actually changed.
+        """
+        if site not in self._origins:
+            raise KeyError(f"unknown site {site!r}")
+        if self._announced[site] == up:
+            return False
+        before = self.routing()
+        self._announced[site] = up
+        after = self.routing()
+        changed = after.changes_from(before)
+        if changed:
+            self._change_log.append(
+                RouteChangeRecord(
+                    timestamp=timestamp, changed_asns=frozenset(changed)
+                )
+            )
+        return True
+
+    def set_blocked(
+        self, site: str, blocked: frozenset[int], timestamp: float
+    ) -> bool:
+        """Partially withdraw: stop exporting to *blocked* neighbors.
+
+        Returns ``True`` if the routing actually changed.  Passing an
+        empty set restores full export.
+        """
+        if site not in self._origins:
+            raise KeyError(f"unknown site {site!r}")
+        if self._blocked[site] == blocked:
+            return False
+        before = self.routing()
+        self._blocked[site] = blocked
+        after = self.routing()
+        changed = after.changes_from(before)
+        if changed:
+            self._change_log.append(
+                RouteChangeRecord(
+                    timestamp=timestamp, changed_asns=frozenset(changed)
+                )
+            )
+        return True
+
+    def withdraw(self, site: str, timestamp: float) -> bool:
+        """Withdraw *site*'s announcement (the §2.2 withdraw policy)."""
+        return self.set_announced(site, False, timestamp)
+
+    def announce(self, site: str, timestamp: float) -> bool:
+        """Re-announce *site* (post-event recovery)."""
+        return self.set_announced(site, True, timestamp)
+
+    def change_log(self) -> list[RouteChangeRecord]:
+        """All routing transitions so far, in time order."""
+        return list(self._change_log)
+
+    def catchment_of(self, asn: int) -> str | None:
+        """The site *asn* currently reaches, or ``None``."""
+        return self.routing().site_of(asn)

@@ -1,0 +1,159 @@
+"""AS-level topology with business relationships.
+
+BGP route propagation (and therefore anycast catchment formation) is
+governed by the commercial relationships between autonomous systems:
+customers buy transit from providers, and peers exchange their own and
+their customers' routes settlement-free (Gao-Rexford).  This module
+holds the graph; :mod:`repro.netsim.bgp` propagates routes over it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..util.geo import Location
+
+
+class Relationship(enum.Enum):
+    """The relationship of a neighbor, from the perspective of one AS."""
+
+    CUSTOMER = "customer"  # the neighbor pays us for transit
+    PROVIDER = "provider"  # we pay the neighbor for transit
+    PEER = "peer"          # settlement-free
+
+    @property
+    def inverse(self) -> "Relationship":
+        """The same link seen from the other side."""
+        if self is Relationship.CUSTOMER:
+            return Relationship.PROVIDER
+        if self is Relationship.PROVIDER:
+            return Relationship.CUSTOMER
+        return Relationship.PEER
+
+
+class AsRole(enum.Enum):
+    """Coarse role tag, used by builders and reporting (not by BGP)."""
+
+    TRANSIT = "transit"     # backbone / tier-1
+    STUB = "stub"           # edge network hosting VPs or bots
+    SITE_HOST = "site_host" # hosts an anycast site
+
+
+@dataclass(frozen=True, slots=True)
+class AsNode:
+    """One autonomous system."""
+
+    asn: int
+    location: Location
+    role: AsRole = AsRole.STUB
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ValueError(f"ASNs are positive integers: {self.asn}")
+
+
+@dataclass(slots=True)
+class ASGraph:
+    """A mutable AS-level topology.
+
+    Adjacency is stored per node as ``{neighbor_asn: relationship}``
+    where the relationship is expressed from the node's own viewpoint.
+    """
+
+    _nodes: dict[int, AsNode] = field(default_factory=dict)
+    _adjacency: dict[int, dict[int, Relationship]] = field(default_factory=dict)
+
+    def add_as(self, node: AsNode) -> None:
+        """Add an AS; re-adding an existing ASN is an error."""
+        if node.asn in self._nodes:
+            raise ValueError(f"AS {node.asn} already in graph")
+        self._nodes[node.asn] = node
+        self._adjacency[node.asn] = {}
+
+    def add_link(self, asn: int, neighbor: int, rel: Relationship) -> None:
+        """Add a link; *rel* is *neighbor*'s role as seen from *asn*.
+
+        ``add_link(64500, 64501, Relationship.PROVIDER)`` means 64501
+        provides transit to 64500.  The reverse direction is recorded
+        automatically.
+        """
+        if asn == neighbor:
+            raise ValueError("an AS cannot neighbor itself")
+        for a in (asn, neighbor):
+            if a not in self._nodes:
+                raise KeyError(f"AS {a} not in graph")
+        existing = self._adjacency[asn].get(neighbor)
+        if existing is not None and existing is not rel:
+            raise ValueError(
+                f"link {asn}-{neighbor} already exists as {existing}"
+            )
+        self._adjacency[asn][neighbor] = rel
+        self._adjacency[neighbor][asn] = rel.inverse
+
+    def node(self, asn: int) -> AsNode:
+        """Look up one AS by number."""
+        try:
+            return self._nodes[asn]
+        except KeyError:
+            raise KeyError(f"AS {asn} not in graph") from None
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def asns(self) -> list[int]:
+        """All ASNs, in insertion order."""
+        return list(self._nodes)
+
+    def nodes(self) -> list[AsNode]:
+        """All AS nodes, in insertion order."""
+        return list(self._nodes.values())
+
+    def neighbors(self, asn: int) -> dict[int, Relationship]:
+        """Neighbors of *asn* with their relationship as seen from it."""
+        if asn not in self._nodes:
+            raise KeyError(f"AS {asn} not in graph")
+        return dict(self._adjacency[asn])
+
+    def neighbors_by_rel(self, asn: int, rel: Relationship) -> list[int]:
+        """Neighbors of *asn* that play the given role for it."""
+        if asn not in self._nodes:
+            raise KeyError(f"AS {asn} not in graph")
+        return [n for n, r in self._adjacency[asn].items() if r is rel]
+
+    def providers(self, asn: int) -> list[int]:
+        """ASes that provide transit to *asn*."""
+        return self.neighbors_by_rel(asn, Relationship.PROVIDER)
+
+    def customers(self, asn: int) -> list[int]:
+        """ASes buying transit from *asn*."""
+        return self.neighbors_by_rel(asn, Relationship.CUSTOMER)
+
+    def peers(self, asn: int) -> list[int]:
+        """Settlement-free peers of *asn*."""
+        return self.neighbors_by_rel(asn, Relationship.PEER)
+
+    def edge_count(self) -> int:
+        """Number of undirected links."""
+        return sum(len(adj) for adj in self._adjacency.values()) // 2
+
+    def validate(self) -> None:
+        """Check structural invariants; raises on violation.
+
+        * every link is symmetric with inverse relationships,
+        * no AS is isolated (everything should reach the core).
+        """
+        for asn, adj in self._adjacency.items():
+            if not adj:
+                raise ValueError(f"AS {asn} is isolated")
+            for neighbor, rel in adj.items():
+                mirror = self._adjacency[neighbor].get(asn)
+                if mirror is not rel.inverse:
+                    raise ValueError(
+                        f"asymmetric link {asn}-{neighbor}: {rel} vs {mirror}"
+                    )

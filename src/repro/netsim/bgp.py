@@ -1,0 +1,326 @@
+"""Path-vector route propagation with valley-free (Gao-Rexford) export.
+
+Anycast catchments are the set of networks whose BGP best path leads to
+a given site (paper section 2.1).  This module computes, for a set of
+anycast origins announcing one prefix, the best route at every AS:
+
+* routes learned from **customers** are exported to everyone;
+* routes learned from **peers** or **providers** are exported only to
+  customers;
+* preference order is customer > peer > provider, then shortest AS
+  path, then a deterministic tie-break (geographic proximity to the
+  origin site, approximating hot-potato/IGP tie-breaks, then site id).
+
+Sites announced with a **local** scope (the paper's NOPEER/NO_EXPORT
+sites, Table 2) install their route only at the host AS and its direct
+neighbors; the route is never re-exported, so the catchment stays in
+the immediate neighborhood.
+
+The propagation is a level-synchronous BFS run in three stages
+(customer-learned "uphill", one peer hop, provider-learned "downhill"),
+which yields exactly the valley-free best routes and is deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass
+
+from ..util.geo import Location, haversine_km
+from .asgraph import ASGraph, Relationship
+
+
+class Scope(enum.Enum):
+    """Anycast announcement scope (paper's global vs local sites)."""
+
+    GLOBAL = "global"
+    LOCAL = "local"
+
+
+class RouteClass(enum.IntEnum):
+    """Preference class of a route; lower is better."""
+
+    CUSTOMER = 0
+    PEER = 1
+    PROVIDER = 2
+
+
+@dataclass(frozen=True, slots=True)
+class Origin:
+    """One anycast origin: a site announced from its host AS.
+
+    *blocked_neighbors* models partial withdrawal: the origin stops
+    exporting to those direct neighbors while still serving the rest.
+    Under stress this is how a site sheds part of its catchment while
+    remaining a degraded absorber for "stuck" networks (paper §3.4.2:
+    some VPs stay pinned to an overloaded site while others shift).
+    """
+
+    site: str
+    asn: int
+    scope: Scope = Scope.GLOBAL
+    location: Location | None = None
+    blocked_neighbors: frozenset[int] = frozenset()
+    #: Interconnection-richness discount applied to the geo tie-break
+    #: distance (0 = none, 0.5 = distances count half).  Densely peered
+    #: sites (K-AMS at AMS-IX) win ties over a wider radius than their
+    #: location alone would suggest, without ever beating a zero-
+    #: distance competitor.
+    preference_discount: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.site:
+            raise ValueError("origin site id must be non-empty")
+        if not 0.0 <= self.preference_discount < 1.0:
+            raise ValueError("preference_discount must be within [0, 1)")
+
+    def with_blocked(self, blocked: frozenset[int]) -> "Origin":
+        """A copy of this origin with a different blocked set."""
+        return Origin(
+            site=self.site,
+            asn=self.asn,
+            scope=self.scope,
+            location=self.location,
+            blocked_neighbors=blocked,
+            preference_discount=self.preference_discount,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Route:
+    """An AS's best route towards the anycast prefix.
+
+    *path* lists the ASes the announcement traversed, origin first and
+    the route holder last (so ``len(path)`` is the AS-path length).
+    """
+
+    site: str
+    origin_asn: int
+    path: tuple[int, ...]
+    route_class: RouteClass
+    tiebreak: float
+
+    @property
+    def path_len(self) -> int:
+        """AS-path length (number of ASes, origin included)."""
+        return len(self.path)
+
+    def preference_key(self) -> tuple:
+        """Lexicographic key; the smallest key wins."""
+        return (
+            int(self.route_class),
+            self.path_len,
+            self.tiebreak,
+            self.site,
+            self.origin_asn,
+        )
+
+    def better_than(self, other: "Route | None") -> bool:
+        """Whether this route beats *other* in BGP preference."""
+        if other is None:
+            return True
+        return self.preference_key() < other.preference_key()
+
+
+class RoutingTable:
+    """Best route per AS for one anycast prefix."""
+
+    def __init__(self, routes: dict[int, Route]) -> None:
+        self._routes = routes
+
+    def route(self, asn: int) -> Route | None:
+        """The best route of *asn*, or ``None`` if unreachable."""
+        return self._routes.get(asn)
+
+    def site_of(self, asn: int) -> str | None:
+        """The anycast site *asn*'s traffic reaches, or ``None``."""
+        route = self._routes.get(asn)
+        return None if route is None else route.site
+
+    def catchments(self) -> dict[str, set[int]]:
+        """Site -> set of ASes routed to it."""
+        result: dict[str, set[int]] = defaultdict(set)
+        for asn, route in self._routes.items():
+            result[route.site].add(asn)
+        return dict(result)
+
+    def reachable_asns(self) -> set[int]:
+        """All ASes holding any route."""
+        return set(self._routes)
+
+    def changes_from(self, previous: "RoutingTable") -> set[int]:
+        """ASes whose best route differs from *previous*.
+
+        A change of site, of path, or gain/loss of reachability all
+        count -- this mirrors what a BGP collector peer sees as update
+        activity (paper section 3.4.1).
+        """
+        changed = set()
+        for asn in set(self._routes) | set(previous._routes):
+            if self._routes.get(asn) != previous._routes.get(asn):
+                changed.add(asn)
+        return changed
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+
+def _geo_tiebreak(graph: ASGraph, asn: int, origin: Origin) -> float:
+    """Effective distance from *asn* to the origin site (0 if unknown).
+
+    The origin's richness discount shrinks its effective distance.
+    """
+    if origin.location is None:
+        return 0.0
+    distance = haversine_km(graph.node(asn).location, origin.location)
+    return distance * (1.0 - origin.preference_discount)
+
+
+def propagate(graph: ASGraph, origins: list[Origin]) -> RoutingTable:
+    """Compute best routes at every AS for one anycast prefix.
+
+    Withdrawn sites are simply omitted from *origins*.
+    """
+    for origin in origins:
+        if origin.asn not in graph:
+            raise KeyError(f"origin AS {origin.asn} not in graph")
+
+    best: dict[int, Route] = {}
+
+    def offer(asn: int, route: Route) -> bool:
+        """Install *route* at *asn* if it wins; report whether it did."""
+        if route.better_than(best.get(asn)):
+            best[asn] = route
+            return True
+        return False
+
+    global_origins = [o for o in origins if o.scope is Scope.GLOBAL]
+    local_origins = [o for o in origins if o.scope is Scope.LOCAL]
+
+    # --- Stage 1: customer-learned routes climb provider edges. -------
+    frontier: list[tuple[int, Route]] = []
+    for origin in global_origins:
+        route = Route(
+            site=origin.site,
+            origin_asn=origin.asn,
+            path=(origin.asn,),
+            route_class=RouteClass.CUSTOMER,
+            tiebreak=0.0,
+        )
+        if offer(origin.asn, route):
+            frontier.append((origin.asn, route))
+    origin_by_site = {o.site: o for o in origins}
+
+    while frontier:
+        candidates: dict[int, list[Route]] = defaultdict(list)
+        for asn, route in frontier:
+            if best.get(asn) != route:
+                continue  # superseded at this level
+            for provider in graph.providers(asn):
+                origin = origin_by_site[route.site]
+                if (
+                    len(route.path) == 1
+                    and provider in origin.blocked_neighbors
+                ):
+                    continue
+                candidates[provider].append(
+                    Route(
+                        site=route.site,
+                        origin_asn=route.origin_asn,
+                        path=route.path + (provider,),
+                        route_class=RouteClass.CUSTOMER,
+                        tiebreak=_geo_tiebreak(graph, provider, origin),
+                    )
+                )
+        frontier = []
+        for asn, routes in candidates.items():
+            winner = min(routes, key=Route.preference_key)
+            if offer(asn, winner):
+                frontier.append((asn, winner))
+
+    customer_routed = {
+        asn: route
+        for asn, route in best.items()
+        if route.route_class is RouteClass.CUSTOMER
+    }
+
+    # --- Stage 2: one peer hop from every customer-routed AS. ---------
+    for asn, route in customer_routed.items():
+        for peer in graph.peers(asn):
+            origin = origin_by_site[route.site]
+            if len(route.path) == 1 and peer in origin.blocked_neighbors:
+                continue
+            offer(
+                peer,
+                Route(
+                    site=route.site,
+                    origin_asn=route.origin_asn,
+                    path=route.path + (peer,),
+                    route_class=RouteClass.PEER,
+                    tiebreak=_geo_tiebreak(graph, peer, origin),
+                ),
+            )
+
+    # --- Stage 3: everything rolls downhill to customers. -------------
+    frontier = [(asn, route) for asn, route in best.items()]
+    while frontier:
+        candidates = defaultdict(list)
+        for asn, route in frontier:
+            if best.get(asn) != route:
+                continue
+            for customer in graph.customers(asn):
+                origin = origin_by_site[route.site]
+                if (
+                    len(route.path) == 1
+                    and customer in origin.blocked_neighbors
+                ):
+                    continue
+                candidates[customer].append(
+                    Route(
+                        site=route.site,
+                        origin_asn=route.origin_asn,
+                        path=route.path + (customer,),
+                        route_class=RouteClass.PROVIDER,
+                        tiebreak=_geo_tiebreak(graph, customer, origin),
+                    )
+                )
+        frontier = []
+        for asn, routes in candidates.items():
+            winner = min(routes, key=Route.preference_key)
+            if offer(asn, winner):
+                frontier.append((asn, winner))
+
+    # --- Local sites: host AS and direct neighbors only. --------------
+    for origin in local_origins:
+        self_route = Route(
+            site=origin.site,
+            origin_asn=origin.asn,
+            path=(origin.asn,),
+            route_class=RouteClass.CUSTOMER,
+            tiebreak=0.0,
+        )
+        offer(origin.asn, self_route)
+        for neighbor, rel in graph.neighbors(origin.asn).items():
+            if neighbor in origin.blocked_neighbors:
+                continue
+            # *rel* is the neighbor's role as seen from the origin; the
+            # neighbor itself learned the route from the inverse side.
+            if rel is Relationship.PROVIDER:
+                neighbor_class = RouteClass.CUSTOMER  # learned from customer
+            elif rel is Relationship.PEER:
+                neighbor_class = RouteClass.PEER
+            else:
+                neighbor_class = RouteClass.PROVIDER  # learned from provider
+            offer(
+                neighbor,
+                Route(
+                    site=origin.site,
+                    origin_asn=origin.asn,
+                    path=(origin.asn, neighbor),
+                    route_class=neighbor_class,
+                    tiebreak=_geo_tiebreak(graph, neighbor, origin),
+                ),
+            )
+
+    return RoutingTable(best)

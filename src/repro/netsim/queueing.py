@@ -1,0 +1,130 @@
+"""Site overload model: loss and latency as a function of offered load.
+
+The paper observes two symptoms at stressed anycast sites:
+
+* **loss** -- ingress queues overflow and legitimate queries are
+  dropped (the "degraded absorber" of section 2.2);
+* **latency** -- median RTT at K-AMS rose from ~30 ms to 1-2 s, which
+  the authors attribute to an overloaded link combined with large
+  router buffers ("industrial-scale bufferbloat", section 3.3.2).
+
+We model a site's ingress as a single bottleneck server with service
+rate equal to the site capacity (queries/s) and a large FIFO buffer:
+
+* utilisation ``rho = offered / capacity``;
+* below saturation, waiting time follows the M/M/1 mean
+  ``service_ms * rho / (1 - rho)``, clamped by the buffer;
+* at or past saturation the buffer is full: the queueing delay
+  approaches the full buffer drain time and the loss fraction is the
+  excess traffic, ``1 - 1/rho``.
+
+The buffer drain time is expressed directly in milliseconds
+(``buffer_ms``), the quantity Figure 7 exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class OverloadModel:
+    """Parameters of the bottleneck model.
+
+    Parameters
+    ----------
+    service_ms:
+        Mean per-query service time at low load, in milliseconds.
+    buffer_ms:
+        Drain time of a full ingress buffer: the latency ceiling under
+        sustained overload (Fig. 7 shows ~1000-2000 ms).
+    loss_knee:
+        Utilisation at which random early loss starts (queues are
+        finite even below full saturation).
+    """
+
+    service_ms: float = 0.5
+    buffer_ms: float = 1800.0
+    loss_knee: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.service_ms <= 0:
+            raise ValueError("service_ms must be positive")
+        if self.buffer_ms <= 0:
+            raise ValueError("buffer_ms must be positive")
+        if not 0.5 <= self.loss_knee <= 1.0:
+            raise ValueError("loss_knee must be within [0.5, 1]")
+
+    def utilisation(self, offered_qps: float, capacity_qps: float) -> float:
+        """Offered load over capacity; infinite capacity gives 0."""
+        if offered_qps < 0:
+            raise ValueError("offered load cannot be negative")
+        if capacity_qps <= 0:
+            raise ValueError("capacity must be positive")
+        return offered_qps / capacity_qps
+
+    def loss_fraction(self, offered_qps: float, capacity_qps: float) -> float:
+        """Fraction of arriving queries dropped at the ingress."""
+        rho = self.utilisation(offered_qps, capacity_qps)
+        return float(self._loss_from_rho(np.asarray(rho)))
+
+    def queue_delay_ms(self, offered_qps: float, capacity_qps: float) -> float:
+        """Extra round-trip delay contributed by queueing."""
+        rho = self.utilisation(offered_qps, capacity_qps)
+        return float(self._delay_from_rho(np.asarray(rho)))
+
+    def evaluate(
+        self, offered_qps: np.ndarray, capacity_qps: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised ``(utilisation, loss_fraction, queue_delay_ms)``."""
+        offered = np.asarray(offered_qps, dtype=np.float64)
+        capacity = np.asarray(capacity_qps, dtype=np.float64)
+        if (offered < 0).any():
+            raise ValueError("offered load cannot be negative")
+        if (capacity <= 0).any():
+            raise ValueError("capacity must be positive")
+        rho = offered / capacity
+        return rho, self._loss_from_rho(rho), self._delay_from_rho(rho)
+
+    def _loss_from_rho(self, rho: np.ndarray) -> np.ndarray:
+        """Loss fraction: early loss after the knee, 1 - 1/rho beyond."""
+        rho = np.asarray(rho, dtype=np.float64)
+        loss = np.zeros_like(rho)
+        # Early-loss ramp between the knee and saturation.
+        ramp = (rho > self.loss_knee) & (rho < 1.0)
+        knee_width = 1.0 - self.loss_knee
+        if knee_width > 0:
+            # Ramp continuously from 0 at the knee to 0 at saturation's
+            # own formula start; small quadratic onset.
+            frac = (rho[ramp] - self.loss_knee) / knee_width
+            loss[ramp] = 0.05 * frac**2
+        saturated = rho >= 1.0
+        loss[saturated] = 1.0 - 1.0 / rho[saturated]
+        return np.clip(loss, 0.0, 1.0)
+
+    def _delay_from_rho(self, rho: np.ndarray) -> np.ndarray:
+        """Queueing delay: M/M/1 below the knee, buffer-bound above."""
+        rho = np.asarray(rho, dtype=np.float64)
+        delay = np.empty_like(rho)
+        below = rho < self.loss_knee
+        delay[below] = self.service_ms * rho[below] / (1.0 - rho[below])
+        # Between knee and saturation: blend from the M/M/1 value at
+        # the knee towards the full buffer.
+        knee_delay = self.service_ms * self.loss_knee / (1.0 - self.loss_knee)
+        ramp = (rho >= self.loss_knee) & (rho < 1.0)
+        knee_width = 1.0 - self.loss_knee
+        if knee_width > 0:
+            frac = (rho[ramp] - self.loss_knee) / knee_width
+            delay[ramp] = knee_delay + frac**2 * (
+                0.5 * self.buffer_ms - knee_delay
+            )
+        saturated = rho >= 1.0
+        # A saturated buffer stays full; the drain time grows towards
+        # the ceiling with overload depth (deeper overload, fuller
+        # buffer on average).
+        delay[saturated] = self.buffer_ms * (
+            1.0 - 0.5 / np.maximum(rho[saturated], 1.0)
+        )
+        return np.minimum(delay, self.buffer_ms)

@@ -1,0 +1,28 @@
+"""Recursive resolvers: the redundancy layer above the root letters."""
+
+from .cache import TtlCache
+from .experiment import WholeRootConfig, WholeRootOutcome, run_whole_root
+from .resolver import (
+    Outcome,
+    RecursiveResolver,
+    Resolution,
+    ResolverConfig,
+)
+from .rootview import QUERY_TIMEOUT_MS, RootSystemView
+from .selection import Selector, SrttSelector, UniformSelector
+
+__all__ = [
+    "Outcome",
+    "QUERY_TIMEOUT_MS",
+    "RecursiveResolver",
+    "Resolution",
+    "ResolverConfig",
+    "RootSystemView",
+    "Selector",
+    "SrttSelector",
+    "TtlCache",
+    "UniformSelector",
+    "WholeRootConfig",
+    "WholeRootOutcome",
+    "run_whole_root",
+]

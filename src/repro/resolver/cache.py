@@ -1,0 +1,47 @@
+"""TTL cache for delegations learned from the root.
+
+Top-level delegations carry long TTLs (commonly one to two days), so
+recursive resolvers rarely need the root at all -- the first layer of
+the redundancy that kept end users unaware of the 2015 events (paper
+sections 2.3 and 3.2.2).
+"""
+
+from __future__ import annotations
+
+
+class TtlCache:
+    """A name -> expiry cache with explicit time (no wall clock)."""
+
+    def __init__(self) -> None:
+        self._expiry: dict[str, float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, name: str, now: float) -> bool:
+        """Whether *name* is cached and fresh at *now* (counts stats)."""
+        expiry = self._expiry.get(name)
+        if expiry is not None and expiry > now:
+            self.hits += 1
+            return True
+        if expiry is not None:
+            del self._expiry[name]
+        self.misses += 1
+        return False
+
+    def put(self, name: str, now: float, ttl: float) -> None:
+        """Cache *name* until ``now + ttl``."""
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        self._expiry[name] = now + ttl
+
+    def flush(self) -> None:
+        """Drop everything (a resolver restart)."""
+        self._expiry.clear()
+
+    def __len__(self) -> int:
+        return len(self._expiry)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,172 @@
+"""The whole-root experiment: did end users notice the attack?
+
+The paper deliberately scopes itself to individual anycast services
+and leaves "overall responsiveness of the Root DNS" to future work
+(sections 3.2.2, 5), while observing the redundancy at work: caching,
+retries across letters, and the query-rate/unique-IP bumps at
+unattacked L-Root.  This experiment closes that loop: a population of
+recursive resolvers rides through the simulated events, and we
+measure what their *users* experienced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.results import Series, SeriesBundle
+from ..scenario.engine import ScenarioResult
+from .resolver import Outcome, RecursiveResolver, ResolverConfig
+from .rootview import RootSystemView
+from .selection import SrttSelector, UniformSelector
+
+
+@dataclass(frozen=True, slots=True)
+class WholeRootConfig:
+    """Population and workload knobs."""
+
+    n_resolvers: int = 150
+    queries_per_resolver_per_bin: float = 2.0
+    n_tlds: int = 40
+    tld_zipf_alpha: float = 1.2
+    selection: str = "srtt"  # or "uniform"
+    resolver: ResolverConfig = field(default_factory=ResolverConfig)
+
+    def __post_init__(self) -> None:
+        if self.n_resolvers < 1:
+            raise ValueError("need at least one resolver")
+        if self.queries_per_resolver_per_bin <= 0:
+            raise ValueError("query rate must be positive")
+        if self.n_tlds < 1:
+            raise ValueError("need at least one TLD")
+        if self.selection not in ("srtt", "uniform"):
+            raise ValueError(f"unknown selection {self.selection!r}")
+
+
+@dataclass(slots=True)
+class WholeRootOutcome:
+    """Per-bin aggregates of the user experience."""
+
+    hours: np.ndarray
+    user_queries: np.ndarray
+    cache_hits: np.ndarray
+    root_lookups: np.ndarray
+    failures: np.ndarray
+    total_lookup_latency_ms: np.ndarray
+    letter_queries: dict[str, np.ndarray]
+    letter_successes: dict[str, np.ndarray]
+
+    @property
+    def failure_fraction(self) -> np.ndarray:
+        """Failed user queries over all user queries, per bin."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(
+                self.user_queries > 0,
+                self.failures / self.user_queries,
+                0.0,
+            )
+
+    @property
+    def mean_lookup_latency_ms(self) -> np.ndarray:
+        """Mean root-lookup latency per bin (NaN when no lookups)."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(
+                self.root_lookups > 0,
+                self.total_lookup_latency_ms / self.root_lookups,
+                np.nan,
+            )
+
+    def overall_failure_fraction(self) -> float:
+        total = self.user_queries.sum()
+        return float(self.failures.sum() / total) if total else 0.0
+
+    def letter_share_series(self) -> SeriesBundle:
+        """Per-letter share of root queries (the letter-flip view)."""
+        totals = sum(self.letter_queries.values())
+        series = []
+        for letter in sorted(self.letter_queries):
+            with np.errstate(divide="ignore", invalid="ignore"):
+                share = np.where(
+                    totals > 0, self.letter_queries[letter] / totals, 0.0
+                )
+            series.append(
+                Series(name=letter, hours=self.hours, values=share)
+            )
+        return SeriesBundle(
+            title="Root-query share per letter (resolver view)",
+            series=tuple(series),
+        )
+
+
+def run_whole_root(
+    result: ScenarioResult,
+    config: WholeRootConfig,
+    rng: np.random.Generator,
+) -> WholeRootOutcome:
+    """Drive a resolver population through the simulated window."""
+    view = RootSystemView(result)
+    letters = tuple(result.letters)
+    grid = result.grid
+
+    resolvers = []
+    for _ in range(config.n_resolvers):
+        stub = int(rng.integers(view.n_stubs))
+        if config.selection == "srtt":
+            selector = SrttSelector(letters=letters)
+        else:
+            selector = UniformSelector(letters=letters)
+        resolvers.append(
+            RecursiveResolver(stub, view, selector, config.resolver, rng)
+        )
+
+    # Zipf-popular TLDs.
+    ranks = np.arange(1, config.n_tlds + 1, dtype=np.float64)
+    popularity = ranks**-config.tld_zipf_alpha
+    popularity /= popularity.sum()
+    tld_names = [f"tld{i:03d}" for i in range(config.n_tlds)]
+
+    n_bins = grid.n_bins
+    outcome = WholeRootOutcome(
+        hours=grid.hours(),
+        user_queries=np.zeros(n_bins),
+        cache_hits=np.zeros(n_bins),
+        root_lookups=np.zeros(n_bins),
+        failures=np.zeros(n_bins),
+        total_lookup_latency_ms=np.zeros(n_bins),
+        letter_queries={L: np.zeros(n_bins) for L in letters},
+        letter_successes={L: np.zeros(n_bins) for L in letters},
+    )
+
+    for b in range(n_bins):
+        bin_start = grid.bin_start(b)
+        for resolver in resolvers:
+            n_queries = rng.poisson(config.queries_per_resolver_per_bin)
+            if n_queries == 0:
+                continue
+            offsets = rng.uniform(0, grid.bin_seconds, n_queries)
+            tlds = rng.choice(
+                config.n_tlds, size=n_queries, p=popularity
+            )
+            for offset, tld_idx in zip(np.sort(offsets), tlds):
+                resolution = resolver.resolve(
+                    tld_names[int(tld_idx)], bin_start + float(offset)
+                )
+                outcome.user_queries[b] += 1
+                if resolution.outcome is Outcome.CACHE_HIT:
+                    outcome.cache_hits[b] += 1
+                    continue
+                outcome.root_lookups[b] += 1
+                outcome.total_lookup_latency_ms[b] += (
+                    resolution.latency_ms
+                )
+                for letter in resolution.letters_tried:
+                    outcome.letter_queries[letter][b] += 1
+                if resolution.outcome is Outcome.FAILED:
+                    outcome.failures[b] += 1
+                else:
+                    outcome.letter_successes[
+                        resolution.letters_tried[-1]
+                    ][b] += 1
+
+    return outcome

@@ -1,0 +1,78 @@
+"""A resolver's-eye view of the simulated root system.
+
+Adapts a :class:`~repro.scenario.engine.ScenarioResult` into a query
+interface: "stub AS *i* asks letter *L* at time *t*" returns success
+and RTT, derived from the recorded per-bin catchments, per-site loss,
+and queueing delay -- the same ground truth the measurement layer
+sampled, now driving client traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..scenario.engine import ScenarioResult
+from ..util.geo import haversine_km_vec, propagation_rtt_ms_vec
+
+#: RTT charged for a query that gets no answer (client timeout).
+QUERY_TIMEOUT_MS = 1000.0
+
+
+class RootSystemView:
+    """Query interface over a completed scenario."""
+
+    def __init__(self, result: ScenarioResult) -> None:
+        self.result = result
+        self.grid = result.grid
+        self.letters = list(result.letters)
+        self._truth = result.truth
+        stub_nodes = [
+            result.topology.graph.node(a) for a in result.topology.stub_asns
+        ]
+        stub_lats = np.array([n.location.lat for n in stub_nodes])
+        stub_lons = np.array([n.location.lon for n in stub_nodes])
+        self.n_stubs = len(stub_nodes)
+        # Pre-compute stub-to-site base RTTs per letter.
+        self._base_rtt: dict[str, np.ndarray] = {}
+        for letter in self.letters:
+            dep = result.deployments[letter]
+            site_lats = np.array(
+                [s.location.lat for s in dep.spec.sites]
+            )
+            site_lons = np.array(
+                [s.location.lon for s in dep.spec.sites]
+            )
+            distances = haversine_km_vec(
+                stub_lats[:, None], stub_lons[:, None],
+                site_lats[None, :], site_lons[None, :],
+            )
+            self._base_rtt[letter] = propagation_rtt_ms_vec(distances)
+
+    def query(
+        self,
+        letter: str,
+        stub_index: int,
+        timestamp: float,
+        rng: np.random.Generator,
+    ) -> tuple[bool, float]:
+        """One root query; returns ``(success, rtt_ms)``.
+
+        Failures are charged the client timeout.
+        """
+        if letter not in self._truth:
+            raise KeyError(f"letter {letter!r} not simulated")
+        if not 0 <= stub_index < self.n_stubs:
+            raise IndexError(f"stub index {stub_index} out of range")
+        truth = self._truth[letter]
+        bin_index = self.grid.bin_index(timestamp)
+        site = truth.stub_site(bin_index, stub_index)
+        if site < 0:
+            return False, QUERY_TIMEOUT_MS
+        loss = float(truth.loss[bin_index, site])
+        if rng.random() < loss:
+            return False, QUERY_TIMEOUT_MS
+        rtt = (
+            float(self._base_rtt[letter][stub_index, site])
+            + float(truth.delay_ms[bin_index, site])
+        )
+        return True, min(rtt, QUERY_TIMEOUT_MS)

@@ -1,0 +1,96 @@
+"""Authority (root letter) selection strategies for resolvers.
+
+Resolvers choose which of the thirteen letters to query.  Production
+implementations keep a smoothed RTT per server and prefer the fastest
+while still exploring (Yu et al., "Authority Server Selection in DNS
+Caching Resolvers" -- the paper's reference [63]); failures are
+penalised so traffic drains away from unresponsive letters, which is
+the mechanism behind the paper's "letter flips" (section 3.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class Selector:
+    """Interface: pick a letter, learn from the outcome."""
+
+    def pick(self, exclude: set[str], rng: np.random.Generator) -> str:
+        raise NotImplementedError
+
+    def update(self, letter: str, rtt_ms: float) -> None:
+        """Record a successful query."""
+
+    def penalize(self, letter: str) -> None:
+        """Record a timeout."""
+
+
+@dataclass(slots=True)
+class SrttSelector(Selector):
+    """BIND-style smoothed-RTT selection with decay-driven exploration.
+
+    The chosen letter's SRTT is updated towards the measured RTT; all
+    other letters decay slightly so they are re-tried eventually; a
+    timeout multiplies the letter's SRTT by a penalty factor.
+    """
+
+    letters: tuple[str, ...]
+    alpha: float = 0.3
+    decay: float = 0.98
+    timeout_penalty_ms: float = 2000.0
+    initial_ms: float = 100.0
+    srtt: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.letters:
+            raise ValueError("need at least one letter")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be within (0, 1]")
+        if not 0.0 < self.decay <= 1.0:
+            raise ValueError("decay must be within (0, 1]")
+        for letter in self.letters:
+            self.srtt.setdefault(letter, self.initial_ms)
+
+    def pick(self, exclude: set[str], rng: np.random.Generator) -> str:
+        candidates = [L for L in self.letters if L not in exclude]
+        if not candidates:
+            raise ValueError("every letter excluded")
+        return min(candidates, key=lambda L: (self.srtt[L], L))
+
+    def update(self, letter: str, rtt_ms: float) -> None:
+        if letter not in self.srtt:
+            raise KeyError(f"unknown letter {letter!r}")
+        self.srtt[letter] = (
+            (1.0 - self.alpha) * self.srtt[letter] + self.alpha * rtt_ms
+        )
+        for other in self.letters:
+            if other != letter:
+                self.srtt[other] *= self.decay
+
+    def penalize(self, letter: str) -> None:
+        if letter not in self.srtt:
+            raise KeyError(f"unknown letter {letter!r}")
+        self.srtt[letter] = (
+            (1.0 - self.alpha) * self.srtt[letter]
+            + self.alpha * self.timeout_penalty_ms
+        )
+
+
+@dataclass(slots=True)
+class UniformSelector(Selector):
+    """Pick uniformly at random; the no-memory baseline."""
+
+    letters: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.letters:
+            raise ValueError("need at least one letter")
+
+    def pick(self, exclude: set[str], rng: np.random.Generator) -> str:
+        candidates = [L for L in self.letters if L not in exclude]
+        if not candidates:
+            raise ValueError("every letter excluded")
+        return candidates[int(rng.integers(len(candidates)))]

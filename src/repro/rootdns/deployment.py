@@ -1,0 +1,257 @@
+"""Runtime deployment of a root letter onto the network substrate.
+
+A :class:`LetterDeployment` binds a :class:`~repro.rootdns.letters.LetterSpec`
+to the AS topology: each site gets a host AS, the letter gets an
+anycast prefix with one origin per site, and site states track the
+policy machinery (withdrawals, partial withdrawals, recovery budgets).
+
+The per-bin control loop lives in :meth:`LetterDeployment.apply_policies`:
+given each site's utilisation it executes the section-2.2 policy
+space -- absorb, withdraw, partial withdraw -- plus standby activation
+(H-Root's primary/backup pair) and post-event recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..netsim.anycast import AnycastPrefix
+from ..netsim.bgp import Origin, RoutingTable, Scope
+from ..netsim.topology import Topology
+from .facility import FacilityRegistry
+from .letters import LETTERS_SPEC, LetterSpec
+from .servers import rotate_shed_server
+from .sites import DEFAULT_RECOVERY_BINS, SitePolicy, SiteSpec, SiteState
+
+@dataclass(frozen=True, slots=True)
+class PolicyEvent:
+    """One policy action taken by a site (for reporting and tests)."""
+
+    timestamp: float
+    site: str
+    action: str  # "withdraw" | "announce" | "partial" | "restore"
+
+
+class LetterDeployment:
+    """One letter's sites wired into the topology, with policy state."""
+
+    def __init__(
+        self,
+        spec: LetterSpec,
+        topology: Topology,
+        facilities: FacilityRegistry | None = None,
+    ) -> None:
+        self.spec = spec
+        self.topology = topology
+        self.site_order = [s.code for s in spec.sites]
+        self.site_index = {c: i for i, c in enumerate(self.site_order)}
+        self.states = {s.code: SiteState.initial(s) for s in spec.sites}
+        self.host_asns: dict[str, int] = {}
+        self.policy_log: list[PolicyEvent] = []
+
+        origins = []
+        for site in spec.sites:
+            label = site.label(spec.letter)
+            partial = site.policy is SitePolicy.PARTIAL_WITHDRAW
+            ixp = site.scope is Scope.LOCAL or partial
+            # Partial-withdraw sites are the big IXP-present ones; their
+            # direct peering is what stays "stuck" during withdrawal.
+            asn = topology.add_site_host(
+                label,
+                site.location,
+                site.scope,
+                ixp_peering=ixp,
+                ixp_radius_km=300.0 if partial else None,
+                ixp_max_peers=15 if partial else None,
+                n_transits=(
+                    site.n_transit_providers
+                    if site.scope is Scope.GLOBAL
+                    else 1
+                ),
+            )
+            self.host_asns[site.code] = asn
+            origins.append(
+                Origin(
+                    site=site.code,
+                    asn=asn,
+                    scope=site.scope,
+                    location=site.location,
+                    preference_discount=site.route_preference_discount,
+                )
+            )
+            if facilities is not None and site.facility is not None:
+                facilities.register(
+                    site.facility,
+                    label,
+                    site.capacity_qps,
+                    site.facility_coupling,
+                )
+        self.prefix = AnycastPrefix(topology.graph, origins)
+        for site in spec.sites:
+            if not site.initially_announced:
+                self.prefix.withdraw(site.code, timestamp=float("-inf"))
+
+    @property
+    def letter(self) -> str:
+        return self.spec.letter
+
+    def site_spec(self, code: str) -> SiteSpec:
+        return self.spec.site(code)
+
+    def state(self, code: str) -> SiteState:
+        try:
+            return self.states[code]
+        except KeyError:
+            raise KeyError(
+                f"{self.letter}-Root has no site {code!r}"
+            ) from None
+
+    def routing(self) -> RoutingTable:
+        """Current best-route table for this letter's prefix."""
+        return self.prefix.routing()
+
+    def capacity_by_site(self) -> np.ndarray:
+        """Site capacities in site order."""
+        return np.array(
+            [s.capacity_qps for s in self.spec.sites], dtype=np.float64
+        )
+
+    def buffer_caps(self, default_ms: float) -> np.ndarray:
+        """Per-site queueing-delay ceilings in site order."""
+        return np.array(
+            [
+                s.buffer_ms if s.buffer_ms is not None else default_ms
+                for s in self.spec.sites
+            ],
+            dtype=np.float64,
+        )
+
+    def announced_mask(self) -> np.ndarray:
+        """Boolean mask over site order: currently announced?"""
+        return np.array(
+            [self.prefix.is_announced(c) for c in self.site_order]
+        )
+
+    def _blocked_set_for_partial(self, code: str) -> frozenset[int]:
+        """Neighbors a partially withdrawing site stops exporting to.
+
+        Transit providers are cut; direct IXP peers are kept, which is
+        what pins part of the catchment to the degraded site.
+        """
+        asn = self.host_asns[code]
+        return frozenset(self.topology.graph.providers(asn))
+
+    def apply_policies(
+        self,
+        utilisation_by_site: dict[str, float],
+        letter_under_attack: bool,
+        timestamp: float,
+    ) -> bool:
+        """Run one control-loop step; returns whether routing changed.
+
+        *utilisation_by_site* is each announced site's offered/capacity
+        for the last bin.  Withdrawn sites see no traffic; their
+        recovery is driven by the letter-wide attack signal (operators
+        re-enable sites once the event subsides).
+        """
+        changed = False
+        any_withdrawn_primary = False
+
+        for code in self.site_order:
+            state = self.states[code]
+            spec = state.spec
+            if not spec.initially_announced:
+                continue  # standby sites handled below
+            announced = self.prefix.is_announced(code)
+            rho = utilisation_by_site.get(code, 0.0)
+
+            if announced and rho > spec.withdraw_threshold:
+                if spec.policy is SitePolicy.WITHDRAW:
+                    if self.prefix.withdraw(code, timestamp):
+                        state.withdrawals += 1
+                        state.calm_bins = 0
+                        changed = True
+                        self._log(timestamp, code, "withdraw")
+                elif (
+                    spec.policy is SitePolicy.PARTIAL_WITHDRAW
+                    and not state.partial
+                ):
+                    blocked = self._blocked_set_for_partial(code)
+                    if self.prefix.set_blocked(code, blocked, timestamp):
+                        state.partial = True
+                        state.calm_bins = 0
+                        changed = True
+                        self._log(timestamp, code, "partial")
+            elif not announced:
+                if letter_under_attack:
+                    state.calm_bins = 0
+                else:
+                    state.calm_bins += 1
+                    if (
+                        state.calm_bins >= DEFAULT_RECOVERY_BINS
+                        and state.may_reannounce()
+                        and self.prefix.announce(code, timestamp)
+                    ):
+                        state.calm_bins = 0
+                        changed = True
+                        self._log(timestamp, code, "announce")
+            elif state.partial:
+                if letter_under_attack:
+                    state.calm_bins = 0
+                else:
+                    state.calm_bins += 1
+                    if state.calm_bins >= DEFAULT_RECOVERY_BINS:
+                        if self.prefix.set_blocked(
+                            code, frozenset(), timestamp
+                        ):
+                            changed = True
+                        state.partial = False
+                        state.calm_bins = 0
+                        # A new event sheds to a different server.
+                        state.shed_server = rotate_shed_server(
+                            state.shed_server, spec.n_servers
+                        )
+                        self._log(timestamp, code, "restore")
+
+            if (
+                spec.initially_announced
+                and not self.prefix.is_announced(code)
+            ):
+                any_withdrawn_primary = True
+
+        # Standby activation: H-Root's backup announces while the
+        # primary is down and withdraws once it returns.
+        for code in self.site_order:
+            state = self.states[code]
+            if state.spec.initially_announced:
+                continue
+            is_up = self.prefix.is_announced(code)
+            if any_withdrawn_primary and not is_up:
+                if self.prefix.announce(code, timestamp):
+                    changed = True
+                    self._log(timestamp, code, "announce")
+            elif not any_withdrawn_primary and is_up:
+                if self.prefix.withdraw(code, timestamp):
+                    changed = True
+                    self._log(timestamp, code, "withdraw")
+        return changed
+
+    def _log(self, timestamp: float, site: str, action: str) -> None:
+        self.policy_log.append(
+            PolicyEvent(timestamp=timestamp, site=site, action=action)
+        )
+
+
+def build_deployments(
+    topology: Topology,
+    facilities: FacilityRegistry | None = None,
+    letters: dict[str, LetterSpec] | None = None,
+) -> dict[str, LetterDeployment]:
+    """Deploy every letter onto *topology*, in letter order."""
+    specs = letters if letters is not None else LETTERS_SPEC
+    return {
+        letter: LetterDeployment(spec, topology, facilities)
+        for letter, spec in sorted(specs.items())
+    }

@@ -1,0 +1,114 @@
+"""Shared data-centre model for collateral damage (paper section 3.6).
+
+Root sites (and other services, like the .nl TLD's anycast nodes) are
+often co-located in shared facilities.  The paper finds end-to-end
+evidence that stress on attacked services spilled over to co-located
+ones: D-Root's Frankfurt and Sydney sites dipped although D was not
+attacked, and two .nl anycast deployments near root sites went almost
+silent during the events.
+
+We model a facility as a shared ingress sized for the services it
+hosts.  When the aggregate offered load exceeds the facility capacity,
+every member suffers extra loss proportional to the overflow, scaled
+by a per-member *coupling* factor expressing how much infrastructure
+the member shares (an unattacked letter with its own transit sees a
+small fraction; a small TLD node behind the same congested port sees
+all of it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class FacilityMember:
+    """One service hosted in a facility."""
+
+    label: str
+    capacity_qps: float
+    coupling: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_qps <= 0:
+            raise ValueError("member capacity must be positive")
+        if not 0.0 <= self.coupling <= 1.0:
+            raise ValueError("coupling must be within [0, 1]")
+
+
+class FacilityRegistry:
+    """Tracks which services share facilities and computes spillover.
+
+    *ingress_factor* scales the shared ingress relative to the members'
+    aggregate service capacity.  Facilities provision their shared
+    paths for normal traffic, not for 100x attacks, so the shared
+    ingress is a small fraction of what the servers inside could
+    nominally absorb; this factor is what makes a drowning facility
+    drown its tenants (Fig. 15's .nl nodes).
+    """
+
+    def __init__(self, ingress_factor: float = 1.0) -> None:
+        if not 0.0 < ingress_factor <= 1.0:
+            raise ValueError("ingress_factor must be within (0, 1]")
+        self.ingress_factor = ingress_factor
+        self._members: dict[str, dict[str, FacilityMember]] = {}
+        self._facility_of: dict[str, str] = {}
+
+    def register(
+        self,
+        facility: str,
+        label: str,
+        capacity_qps: float,
+        coupling: float,
+    ) -> None:
+        """Register *label* as a member of *facility*."""
+        if label in self._facility_of:
+            raise ValueError(f"{label!r} already registered")
+        member = FacilityMember(label, capacity_qps, coupling)
+        self._members.setdefault(facility, {})[label] = member
+        self._facility_of[label] = facility
+
+    @property
+    def facilities(self) -> list[str]:
+        """All facility codes, in registration order."""
+        return list(self._members)
+
+    def members(self, facility: str) -> list[FacilityMember]:
+        """Members of one facility."""
+        try:
+            return list(self._members[facility].values())
+        except KeyError:
+            raise KeyError(f"unknown facility {facility!r}") from None
+
+    def facility_of(self, label: str) -> str | None:
+        """The facility hosting *label*, or ``None``."""
+        return self._facility_of.get(label)
+
+    def capacity(self, facility: str) -> float:
+        """Shared ingress capacity of *facility*."""
+        total = sum(m.capacity_qps for m in self.members(facility))
+        return total * self.ingress_factor
+
+    def spillover(
+        self, offered_by_label: dict[str, float]
+    ) -> dict[str, float]:
+        """Extra loss fraction per member label.
+
+        *offered_by_label* gives the traffic currently arriving for
+        each registered member (absent labels count as zero).  Returns
+        only members with non-zero spillover.
+        """
+        extra: dict[str, float] = {}
+        for facility, members in self._members.items():
+            offered = sum(
+                offered_by_label.get(label, 0.0) for label in members
+            )
+            capacity = self.capacity(facility)
+            if offered <= capacity:
+                continue
+            overflow_loss = 1.0 - capacity / offered
+            for label, member in members.items():
+                loss = overflow_loss * member.coupling
+                if loss > 0.0:
+                    extra[label] = min(1.0, loss)
+        return extra

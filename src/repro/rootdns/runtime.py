@@ -1,0 +1,223 @@
+"""Wire-level root name server: answers actual DNS messages.
+
+The simulation engine works at rate granularity for scale, but the
+underlying protocol behaviour is implemented for real here: a
+:class:`RootNameServer` parses query packets and produces response
+packets --
+
+* CHAOS TXT ``hostname.bind``/``id.server`` queries get the letter's
+  identity string (what RIPE Atlas parses, section 2.1);
+* IN queries get a referral to the proper TLD's name servers from a
+  synthetic root zone, or NXDOMAIN (with the root SOA) for unknown
+  TLDs -- the event queries for ``www.336901.com`` draw .com
+  referrals, which is what made the ~490-byte response sizes of
+  Table 3;
+* response-rate limiting accounts every response and drops or
+  truncates ("slip") the excess, as the operators did (section 2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dns.chaos import make_chaos_reply
+from ..dns.message import (
+    Header,
+    Message,
+    ResourceRecord,
+    make_response,
+)
+from ..dns.name import encode_name, normalize_name, split_labels
+from ..dns.rcode import (
+    CHAOS_HOSTNAME_BIND,
+    CHAOS_ID_SERVER,
+    Opcode,
+    QClass,
+    QType,
+    Rcode,
+)
+from ..dns.rrl import ResponseRateLimiter, RrlAction
+
+#: TTL of delegation records in the synthetic root zone (2 days, as
+#: .com carried in 2015).
+DELEGATION_TTL = 172_800
+
+#: Number of NS records per delegation (gTLD style).
+NS_PER_DELEGATION = 4
+
+
+@dataclass(frozen=True, slots=True)
+class RootZone:
+    """A synthetic root zone: the set of delegated TLDs."""
+
+    tlds: frozenset[str] = field(
+        default_factory=lambda: frozenset(
+            {"com", "net", "org", "nl", "jp", "de", "uk", "fr", "arpa"}
+        )
+    )
+
+    def __post_init__(self) -> None:
+        for tld in self.tlds:
+            if not tld or "." in tld:
+                raise ValueError(f"bad TLD {tld!r}")
+
+    def delegation_for(self, qname: str) -> str | None:
+        """The delegated TLD owning *qname*, or ``None``."""
+        labels = split_labels(normalize_name(qname))
+        if not labels:
+            return None
+        tld = labels[-1].decode("ascii")
+        return tld if tld in self.tlds else None
+
+    def referral_records(self, tld: str) -> tuple[ResourceRecord, ...]:
+        """Authority-section NS records delegating *tld*."""
+        if tld not in self.tlds:
+            raise KeyError(f"{tld!r} not delegated")
+        return tuple(
+            ResourceRecord(
+                name=f"{tld}.",
+                rtype=QType.NS,
+                rclass=QClass.IN,
+                ttl=DELEGATION_TTL,
+                rdata=encode_name(f"{chr(ord('a') + i)}.nic.{tld}."),
+            )
+            for i in range(NS_PER_DELEGATION)
+        )
+
+    def soa_record(self) -> ResourceRecord:
+        """The root SOA, returned with negative answers."""
+        rdata = (
+            encode_name("a.root-servers.net.")
+            + encode_name("nstld.example.")
+            + (2015113000).to_bytes(4, "big")
+            + (1800).to_bytes(4, "big")
+            + (900).to_bytes(4, "big")
+            + (604800).to_bytes(4, "big")
+            + (86400).to_bytes(4, "big")
+        )
+        return ResourceRecord(
+            name=".",
+            rtype=QType.SOA,
+            rclass=QClass.IN,
+            ttl=86400,
+            rdata=rdata,
+        )
+
+
+class RootNameServer:
+    """One server instance at one site of one letter."""
+
+    def __init__(
+        self,
+        letter: str,
+        site: str,
+        server_no: int,
+        zone: RootZone | None = None,
+        rrl: ResponseRateLimiter | None = None,
+    ) -> None:
+        self.letter = letter
+        self.site = site
+        self.server_no = server_no
+        self.zone = zone if zone is not None else RootZone()
+        self.rrl = rrl
+        self.queries_handled = 0
+        self.responses_sent = 0
+        self.responses_dropped = 0
+
+    def handle_wire(
+        self, wire: bytes, source: str, now: float = 0.0
+    ) -> bytes | None:
+        """Handle one query packet; returns the response packet.
+
+        ``None`` means no response (malformed query, or dropped by
+        response-rate limiting).
+        """
+        try:
+            query = Message.decode(wire)
+        except Exception:
+            return None
+        response = self.handle(query, source, now)
+        return response.encode() if response is not None else None
+
+    def handle(
+        self, query: Message, source: str, now: float = 0.0
+    ) -> Message | None:
+        """Handle one parsed query message."""
+        if query.header.qr or query.header.opcode is not Opcode.QUERY:
+            return None
+        if not query.questions:
+            return make_response(query, rcode=Rcode.FORMERR)
+        self.queries_handled += 1
+        question = query.questions[0]
+        qname = normalize_name(question.qname)
+
+        if question.qclass is QClass.CH:
+            if qname in (CHAOS_HOSTNAME_BIND, CHAOS_ID_SERVER):
+                response = make_chaos_reply(
+                    query, self.letter, self.site, self.server_no
+                )
+            else:
+                response = make_response(query, rcode=Rcode.REFUSED)
+        elif question.qclass is QClass.IN:
+            tld = self.zone.delegation_for(qname)
+            if qname == ".":
+                # Apex query: answer with the root SOA in authority.
+                response = Message(
+                    header=self._response_header(query, Rcode.NOERROR,
+                                                 ns=1),
+                    questions=query.questions,
+                    authorities=(self.zone.soa_record(),),
+                )
+            elif tld is not None:
+                records = self.zone.referral_records(tld)
+                response = Message(
+                    header=self._response_header(
+                        query, Rcode.NOERROR, ns=len(records)
+                    ),
+                    questions=query.questions,
+                    authorities=records,
+                )
+            else:
+                response = Message(
+                    header=self._response_header(query, Rcode.NXDOMAIN,
+                                                 ns=1),
+                    questions=query.questions,
+                    authorities=(self.zone.soa_record(),),
+                )
+        else:
+            response = make_response(query, rcode=Rcode.NOTIMP)
+
+        if self.rrl is not None:
+            action = self.rrl.account(source, qname, now)
+            if action is RrlAction.DROP:
+                self.responses_dropped += 1
+                return None
+            if action is RrlAction.SLIP:
+                # Truncated response: header only, TC set.
+                self.responses_sent += 1
+                return Message(
+                    header=Header(
+                        msg_id=query.header.msg_id,
+                        qr=True,
+                        tc=True,
+                        rcode=Rcode.NOERROR,
+                        qdcount=len(query.questions),
+                    ),
+                    questions=query.questions,
+                )
+        self.responses_sent += 1
+        return response
+
+    @staticmethod
+    def _response_header(
+        query: Message, rcode: Rcode, ns: int = 0
+    ) -> Header:
+        return Header(
+            msg_id=query.header.msg_id,
+            qr=True,
+            aa=rcode is Rcode.NXDOMAIN,
+            rd=query.header.rd,
+            rcode=rcode,
+            qdcount=len(query.questions),
+            nscount=ns,
+        )

@@ -1,0 +1,116 @@
+"""Per-server behaviour behind a site load balancer (paper section 3.5).
+
+Large sites run several servers behind a load balancer (Fig. 1).  The
+paper observes that *which* servers answer, and how well, differs
+between sites under stress:
+
+* **K-FRA** normally answered from any of its three servers; during
+  each event all replies came from a single (different) server
+  (Fig. 12 top) with stable latency (Fig. 13 top);
+* **K-NRT**'s three servers all kept answering but degraded, one
+  (K-NRT-S2) worse than the others (Figs. 12-13 bottom).
+
+The model assigns a vantage point to a server by source hash (ECMP
+style) in normal operation and applies the site's configured
+:class:`~repro.rootdns.sites.ServerBehavior` when the site is
+overloaded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .sites import ServerBehavior
+
+#: Overload multiplier for the hottest server under SKEWED behaviour.
+SKEW_HOT_MULTIPLIER = 1.6
+
+#: Overload multiplier for the remaining servers under SKEWED behaviour.
+SKEW_COOL_MULTIPLIER = 0.85
+
+
+def hot_server_index(site_code: str, n_servers: int) -> int:
+    """Deterministic index of the most-loaded server at a site."""
+    if n_servers < 1:
+        raise ValueError("need at least one server")
+    return sum(ord(c) for c in site_code) % n_servers
+
+
+def observed_servers(
+    behavior: ServerBehavior,
+    n_servers: int,
+    vp_hashes: np.ndarray,
+    overloaded: bool,
+    shed_server: int,
+) -> np.ndarray:
+    """Server number (1-based) each vantage point's reply comes from.
+
+    *vp_hashes* are stable per-VP integers (source hashing).  Under
+    SHED_TO_ONE overload every reply comes from *shed_server*.
+    """
+    if n_servers < 1:
+        raise ValueError("need at least one server")
+    hashes = np.asarray(vp_hashes, dtype=np.int64)
+    balanced = hashes % n_servers + 1
+    if overloaded and behavior is ServerBehavior.SHED_TO_ONE:
+        if not 1 <= shed_server <= n_servers:
+            raise ValueError(
+                f"shed server {shed_server} out of range 1..{n_servers}"
+            )
+        return np.full_like(balanced, shed_server)
+    return balanced
+
+
+def server_loss_multipliers(
+    behavior: ServerBehavior,
+    site_code: str,
+    n_servers: int,
+    overloaded: bool,
+) -> np.ndarray:
+    """Per-server multipliers applied to the site loss fraction.
+
+    Index ``i`` scales the loss seen by queries answered at server
+    ``i + 1``.  Only SKEWED behaviour deviates from uniform.
+    """
+    multipliers = np.ones(n_servers, dtype=np.float64)
+    if overloaded and behavior is ServerBehavior.SKEWED:
+        multipliers[:] = SKEW_COOL_MULTIPLIER
+        multipliers[hot_server_index(site_code, n_servers)] = (
+            SKEW_HOT_MULTIPLIER
+        )
+    return multipliers
+
+
+def server_delay_multipliers(
+    behavior: ServerBehavior,
+    site_code: str,
+    n_servers: int,
+    overloaded: bool,
+) -> np.ndarray:
+    """Per-server multipliers applied to the site queueing delay.
+
+    The hot server of a SKEWED site queues deeper (K-NRT-S2's higher
+    latency in Fig. 13); a SHED_TO_ONE site keeps stable latency on
+    the surviving server (K-FRA in Fig. 13).
+    """
+    multipliers = np.ones(n_servers, dtype=np.float64)
+    if not overloaded:
+        return multipliers
+    if behavior is ServerBehavior.SKEWED:
+        multipliers[:] = SKEW_COOL_MULTIPLIER
+        multipliers[hot_server_index(site_code, n_servers)] = (
+            SKEW_HOT_MULTIPLIER
+        )
+    elif behavior is ServerBehavior.SHED_TO_ONE:
+        # The surviving server is provisioned to answer what it gets;
+        # latency stays near normal (Fig. 13 top).
+        multipliers[:] = 0.15
+    return multipliers
+
+
+def rotate_shed_server(current: int, n_servers: int) -> int:
+    """Next shed server (K-FRA answered from a different server per
+    event: S2 in the first, S3 in the second; Fig. 12)."""
+    if n_servers < 1:
+        raise ValueError("need at least one server")
+    return current % n_servers + 1

@@ -1,0 +1,37 @@
+"""RSSAC-002 daily reporting simulation."""
+
+from .serialize import (
+    RSSAC_VERSION,
+    documents_to_report,
+    load_reports,
+    report_to_documents,
+    save_reports,
+)
+from .reports import (
+    BASELINE_UNIQUE_SOURCES,
+    DAY_SECONDS,
+    FLIP_NEW_SOURCE_FRACTION,
+    SIZE_BIN_WIDTH,
+    DailyReport,
+    DayAccumulator,
+    build_baseline_report,
+    build_daily_report,
+    size_bin,
+)
+
+__all__ = [
+    "BASELINE_UNIQUE_SOURCES",
+    "DAY_SECONDS",
+    "DailyReport",
+    "DayAccumulator",
+    "FLIP_NEW_SOURCE_FRACTION",
+    "RSSAC_VERSION",
+    "SIZE_BIN_WIDTH",
+    "build_baseline_report",
+    "build_daily_report",
+    "documents_to_report",
+    "load_reports",
+    "report_to_documents",
+    "save_reports",
+    "size_bin",
+]

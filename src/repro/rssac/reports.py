@@ -1,0 +1,192 @@
+"""RSSAC-002 daily reports (paper section 2.4.2).
+
+RSSAC-002 specifies operationally-relevant daily statistics per root
+letter: query and response counts, query/response size histograms in
+16-byte bins, and unique-source counts.  At event time only five
+letters (A, H, J, K, L) published this data, and the reporting is
+best-effort: under stress the measurement pipelines themselves shed
+load, so most letters *under-measured* the events (section 3.1 infers
+a 6x gap between directly observed traffic and the likely true size).
+
+Modelled effects:
+
+* ``rssac_capture_fraction`` -- share of accepted event traffic the
+  letter's measurement pipeline managed to count;
+* ``rssac_ip_capture_fraction`` -- share of traffic the (costlier)
+  unique-source counter sampled;
+* response-rate limiting -- suppresses ~60 % of responses to the
+  event's highly duplicated queries (section 2.3);
+* letter flips -- resolvers failing at attacked letters retry at
+  others, raising both query counts and unique counts at unattacked
+  letters (L-Root's 1.66x query rise, section 3.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..attack.botnet import expected_unique_sources
+from ..dns.rrl import suppression_fraction
+from ..rootdns.letters import LetterSpec
+
+#: RSSAC-002 size histogram bin width, bytes.
+SIZE_BIN_WIDTH = 16
+
+#: Seconds per reporting day.
+DAY_SECONDS = 86_400.0
+
+#: Resolvers that normally query a given letter in a day (drives the
+#: baseline unique-source counts of Table 3: 2.8-5.4 M).
+BASELINE_UNIQUE_SOURCES = 2.9e6
+
+#: Fraction of retried (letter-flip) queries that come from resolvers
+#: new to the receiving letter.
+FLIP_NEW_SOURCE_FRACTION = 0.25
+
+#: Typical DNS payload sizes for legitimate traffic.  Real root query
+#: streams mix longer names and EDNS options, landing in the 48-63 B
+#: bin -- distinct from the events' short fixed names (32-47 B on
+#: Nov 30, 16-31 B on Dec 1), which is how §3.1 spots the attack.
+BASELINE_QUERY_PAYLOAD = 55
+BASELINE_RESPONSE_PAYLOAD = 615
+
+
+def size_bin(payload_bytes: float) -> int:
+    """Left edge of the 16-byte RSSAC-002 size bin for a payload."""
+    if payload_bytes < 0:
+        raise ValueError("payload size cannot be negative")
+    return int(payload_bytes // SIZE_BIN_WIDTH) * SIZE_BIN_WIDTH
+
+
+@dataclass(frozen=True, slots=True)
+class DailyReport:
+    """One letter-day of RSSAC-002 statistics."""
+
+    letter: str
+    date: str
+    queries: float
+    responses: float
+    unique_sources: float
+    query_size_hist: dict[int, float] = field(default_factory=dict)
+    response_size_hist: dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.queries < 0 or self.responses < 0:
+            raise ValueError("counts cannot be negative")
+
+    @property
+    def mean_qps(self) -> float:
+        """Mean query rate over the day."""
+        return self.queries / DAY_SECONDS
+
+    @property
+    def mean_rps(self) -> float:
+        """Mean response rate over the day."""
+        return self.responses / DAY_SECONDS
+
+    def dominant_query_bin(self) -> int | None:
+        """The most-populated query size bin (attack identification:
+        section 3.1 spots the events by unusually popular bins)."""
+        if not self.query_size_hist:
+            return None
+        return max(self.query_size_hist, key=self.query_size_hist.get)
+
+
+@dataclass(slots=True)
+class DayAccumulator:
+    """Per-letter traffic accumulated over one simulated day."""
+
+    legit_queries: float = 0.0
+    spill_queries: float = 0.0
+    attack_accepted: float = 0.0
+    attack_query_payload: int = 0
+    attack_response_payload: int = 0
+
+    def add_bin(
+        self,
+        legit_accepted: float,
+        spill_accepted: float,
+        attack_accepted: float,
+        bin_seconds: float,
+        attack_query_payload: int | None = None,
+        attack_response_payload: int | None = None,
+    ) -> None:
+        """Accumulate one bin of accepted traffic (rates in q/s)."""
+        self.legit_queries += legit_accepted * bin_seconds
+        self.spill_queries += spill_accepted * bin_seconds
+        self.attack_accepted += attack_accepted * bin_seconds
+        if attack_query_payload is not None:
+            self.attack_query_payload = attack_query_payload
+        if attack_response_payload is not None:
+            self.attack_response_payload = attack_response_payload
+
+
+def build_daily_report(
+    spec: LetterSpec,
+    date: str,
+    acc: DayAccumulator,
+    duplicate_ratio: float,
+    spoof_pool_size: int,
+    rng: np.random.Generator | None = None,
+) -> DailyReport:
+    """Turn one day's accumulated traffic into an RSSAC-002 report."""
+    noise = 1.0
+    if rng is not None:
+        noise = float(np.exp(rng.normal(0.0, 0.01)))
+
+    captured_attack = acc.attack_accepted * spec.rssac_capture_fraction
+    legit_total = (acc.legit_queries + acc.spill_queries) * noise
+    queries = legit_total + captured_attack
+
+    # Responses: legit answered in full; attack responses suppressed by
+    # response-rate limiting on the duplicated fixed-name queries.
+    suppressed = suppression_fraction(duplicate_ratio)
+    responses = legit_total + captured_attack * (1.0 - suppressed)
+
+    # Unique sources: regular resolvers, plus spoofed attack addresses
+    # (sub-sampled by the unique-counting pipeline), plus resolvers new
+    # to this letter arriving through letter flips.
+    attack_counted = acc.attack_accepted * spec.rssac_ip_capture_fraction
+    unique = (
+        BASELINE_UNIQUE_SOURCES * (spec.baseline_qps / 40_000.0) * noise
+        + expected_unique_sources(attack_counted, spoof_pool_size)
+        + acc.spill_queries * FLIP_NEW_SOURCE_FRACTION
+    )
+
+    query_hist = {size_bin(BASELINE_QUERY_PAYLOAD): legit_total}
+    response_hist = {size_bin(BASELINE_RESPONSE_PAYLOAD): legit_total}
+    if captured_attack > 0:
+        qbin = size_bin(acc.attack_query_payload)
+        rbin = size_bin(acc.attack_response_payload)
+        query_hist[qbin] = query_hist.get(qbin, 0.0) + captured_attack
+        response_hist[rbin] = response_hist.get(rbin, 0.0) + (
+            captured_attack * (1.0 - suppressed)
+        )
+
+    return DailyReport(
+        letter=spec.letter,
+        date=date,
+        queries=queries,
+        responses=responses,
+        unique_sources=unique,
+        query_size_hist=query_hist,
+        response_size_hist=response_hist,
+    )
+
+
+def build_baseline_report(
+    spec: LetterSpec, date: str, rng: np.random.Generator
+) -> DailyReport:
+    """A quiet-day report (the 7-day pre-event baseline of Table 3)."""
+    acc = DayAccumulator()
+    acc.legit_queries = spec.baseline_qps * DAY_SECONDS
+    return build_daily_report(
+        spec,
+        date,
+        acc,
+        duplicate_ratio=0.0,
+        spoof_pool_size=2**31,
+        rng=rng,
+    )

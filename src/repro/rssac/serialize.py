@@ -1,0 +1,130 @@
+"""RSSAC-002 YAML serialisation.
+
+Real RSSAC-002 advisories are published as per-metric YAML documents
+(traffic-volume, traffic-sizes, unique-sources) per letter-day.  This
+module renders our :class:`~repro.rssac.reports.DailyReport` objects
+in that shape and parses them back, so simulated reports can be
+exchanged as files with the same structure operators publish.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+import yaml
+
+from .reports import DailyReport
+
+#: Version label embedded in the documents.
+RSSAC_VERSION = "rssac002v3"
+
+
+def report_to_documents(report: DailyReport) -> list[dict]:
+    """One letter-day as the per-metric YAML documents."""
+    base = {
+        "version": RSSAC_VERSION,
+        "service": f"{report.letter.lower()}.root-servers.net",
+        "start-period": f"{report.date}T00:00:00Z",
+        "end-period": f"{report.date}T23:59:59Z",
+    }
+    # Plain Python scalars only: the reports often carry numpy floats.
+    return [
+        {
+            **base,
+            "metric": "traffic-volume",
+            "dns-udp-queries-received-ipv4": float(report.queries),
+            "dns-udp-responses-sent-ipv4": float(report.responses),
+        },
+        {
+            **base,
+            "metric": "traffic-sizes",
+            "udp-request-sizes": {
+                f"{b}-{b + 15}": float(c)
+                for b, c in sorted(report.query_size_hist.items())
+            },
+            "udp-response-sizes": {
+                f"{b}-{b + 15}": float(c)
+                for b, c in sorted(report.response_size_hist.items())
+            },
+        },
+        {
+            **base,
+            "metric": "unique-sources",
+            "num-sources-ipv4": float(report.unique_sources),
+        },
+    ]
+
+
+def documents_to_report(documents: Iterable[dict]) -> DailyReport:
+    """Reassemble a :class:`DailyReport` from its YAML documents."""
+    letter = None
+    date = None
+    queries = responses = unique = 0.0
+    query_hist: dict[int, float] = {}
+    response_hist: dict[int, float] = {}
+    seen_metrics = set()
+    for doc in documents:
+        if doc.get("version") != RSSAC_VERSION:
+            raise ValueError(f"unsupported version {doc.get('version')!r}")
+        service = doc["service"]
+        letter = service.split(".")[0].upper()
+        date = doc["start-period"].split("T")[0]
+        metric = doc["metric"]
+        seen_metrics.add(metric)
+        if metric == "traffic-volume":
+            queries = float(doc["dns-udp-queries-received-ipv4"])
+            responses = float(doc["dns-udp-responses-sent-ipv4"])
+        elif metric == "traffic-sizes":
+            query_hist = {
+                int(k.split("-")[0]): float(v)
+                for k, v in doc["udp-request-sizes"].items()
+            }
+            response_hist = {
+                int(k.split("-")[0]): float(v)
+                for k, v in doc["udp-response-sizes"].items()
+            }
+        elif metric == "unique-sources":
+            unique = float(doc["num-sources-ipv4"])
+        else:
+            raise ValueError(f"unknown metric {metric!r}")
+    missing = {"traffic-volume", "traffic-sizes",
+               "unique-sources"} - seen_metrics
+    if missing:
+        raise ValueError(f"missing metrics: {sorted(missing)}")
+    return DailyReport(
+        letter=letter,
+        date=date,
+        queries=queries,
+        responses=responses,
+        unique_sources=unique,
+        query_size_hist=query_hist,
+        response_size_hist=response_hist,
+    )
+
+
+def save_reports(
+    reports: Iterable[DailyReport], path: str | Path
+) -> int:
+    """Write reports as a multi-document YAML file; returns count."""
+    documents = []
+    count = 0
+    for report in reports:
+        documents.extend(report_to_documents(report))
+        count += 1
+    with open(Path(path), "w", encoding="utf-8") as handle:
+        yaml.safe_dump_all(documents, handle, sort_keys=True)
+    return count
+
+
+def load_reports(path: str | Path) -> list[DailyReport]:
+    """Read reports written by :func:`save_reports`."""
+    with open(Path(path), encoding="utf-8") as handle:
+        documents = [d for d in yaml.safe_load_all(handle) if d]
+    # Group by (service, date): three documents per report.
+    groups: dict[tuple, list[dict]] = {}
+    for doc in documents:
+        key = (doc["service"], doc["start-period"])
+        groups.setdefault(key, []).append(doc)
+    return [documents_to_report(group) for _, group in
+            sorted(groups.items())]

@@ -1,0 +1,87 @@
+"""Scenario configuration: one knob bundle for the whole simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..atlas.vps import VpPopulationConfig
+from ..attack.botnet import BotnetConfig
+from ..attack.events import NOV2015_EVENTS, AttackEvent
+from ..bgpmon.collector import BgpmonConfig
+from ..netsim.queueing import OverloadModel
+from ..netsim.topology import TopologyConfig
+from ..rootdns.letters import LetterSpec
+from ..util.timegrid import (
+    EVENT_WINDOW_SECONDS,
+    EVENT_WINDOW_START,
+    PAPER_BIN_SECONDS,
+    TimeGrid,
+)
+from .nl import NlConfig
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioConfig:
+    """Everything needed to simulate the Nov/Dec 2015 events.
+
+    The default sizes (600 stub ASes, 1500 VPs) run the full two-day
+    window in tens of seconds; tests shrink them, benchmarks may grow
+    them.  ``letters`` restricts the simulation to a subset of root
+    letters for focused (and faster) runs.
+    """
+
+    seed: int = 42
+    n_stubs: int = 600
+    n_vps: int = 1500
+    letters: tuple[str, ...] | None = None
+    events: tuple[AttackEvent, ...] = NOV2015_EVENTS
+    topology: TopologyConfig | None = None
+    vps: VpPopulationConfig | None = None
+    botnet: BotnetConfig = field(default_factory=BotnetConfig)
+    bgpmon: BgpmonConfig = field(default_factory=BgpmonConfig)
+    overload: OverloadModel = field(default_factory=OverloadModel)
+    nl: NlConfig = field(default_factory=NlConfig)
+    include_nl: bool = True
+    baseline_days: int = 7
+    #: Override the letter registry (ablation studies); ``None`` uses
+    #: the canonical LETTERS_SPEC.
+    custom_letters: dict[str, LetterSpec] | None = None
+    #: Observation-window start (POSIX) and length; defaults to the
+    #: paper's two days starting 2015-11-30T00:00Z.  The June 2016
+    #: scenario preset overrides these.
+    window_start: int = EVENT_WINDOW_START
+    window_seconds: int = EVENT_WINDOW_SECONDS
+    bin_seconds: int = PAPER_BIN_SECONDS
+    #: Per-letter defense controllers (repro.defense); letters not
+    #: listed keep their built-in static policies.
+    controllers: dict | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_stubs <= 0 or self.n_vps <= 0:
+            raise ValueError("population sizes must be positive")
+        if self.baseline_days < 1:
+            raise ValueError("need at least one baseline day")
+        if self.letters is not None and not self.letters:
+            raise ValueError("letters subset cannot be empty")
+
+    def grid(self) -> TimeGrid:
+        """The analysis grid implied by the window settings."""
+        if self.window_seconds % self.bin_seconds:
+            raise ValueError("bin width must tile the window")
+        return TimeGrid(
+            start=self.window_start,
+            bin_seconds=self.bin_seconds,
+            n_bins=self.window_seconds // self.bin_seconds,
+        )
+
+    def topology_config(self) -> TopologyConfig:
+        """The effective topology config (n_stubs wins)."""
+        if self.topology is not None:
+            return self.topology
+        return TopologyConfig(n_stubs=self.n_stubs)
+
+    def vp_config(self) -> VpPopulationConfig:
+        """The effective VP population config (n_vps wins)."""
+        if self.vps is not None:
+            return self.vps
+        return VpPopulationConfig(n_vps=self.n_vps)

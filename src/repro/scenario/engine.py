@@ -1,0 +1,520 @@
+"""The simulation engine: two days of Root DNS under attack.
+
+For every ten-minute bin the engine:
+
+1. computes each letter's per-site offered load -- attack volume routed
+   by the botnet's catchments plus legitimate traffic (baseline +
+   letter-flip retries from the previous bin);
+2. evaluates facility spillover (collateral damage) across co-located
+   services;
+3. evaluates each site's overload (loss fraction, queueing delay);
+4. samples every vantage point's observation of every letter;
+5. accumulates RSSAC-002 counters and the .nl series;
+6. runs each letter's policy loop (withdraw / partial withdraw /
+   recover / standby), whose routing effects apply from the next bin.
+
+Afterwards it derives the BGPmon route-change series from each
+prefix's change log and packages everything into a
+:class:`ScenarioResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..atlas.probing import LetterProber, SiteBinConditions
+from ..atlas.vps import build_vps
+from ..attack.botnet import Botnet, build_botnet
+from ..attack.events import active_event, attack_rate
+from ..attack.workload import (
+    BaselineWorkload,
+    legit_shares_by_site,
+    retry_spill,
+)
+from ..bgpmon.collector import BgpCollectors, build_collectors
+from ..datasets.observations import AtlasDataset, VantagePointTable
+from ..dns.message import make_query
+from ..netsim.topology import Topology, build_topology
+from ..rootdns.deployment import LetterDeployment, build_deployments
+from ..rootdns.facility import FacilityRegistry
+from ..rootdns.letters import LETTERS_SPEC
+from ..rssac.reports import (
+    DayAccumulator,
+    DailyReport,
+    build_baseline_report,
+    build_daily_report,
+)
+from ..util.rng import RngFactory
+from ..util.timegrid import TimeGrid
+from .config import ScenarioConfig
+from .nl import NlService
+
+#: Utilisation above which a site counts as overloaded for server-
+#: behaviour purposes (shedding, skew).
+OVERLOAD_RHO = 1.05
+
+#: Shared facility ingress relative to tenant capacity (section 3.6);
+#: facilities are sized for normal loads, not 100x events.
+FACILITY_INGRESS_FACTOR = 0.1
+
+#: Dates of the canonical simulated window and its baseline week.
+EVENT_DATES = ("2015-11-30", "2015-12-01")
+BASELINE_DATES = (
+    "2015-11-23", "2015-11-24", "2015-11-25", "2015-11-26",
+    "2015-11-27", "2015-11-28", "2015-11-29",
+)
+
+
+def window_dates(grid: TimeGrid) -> tuple[list[str], list[str]]:
+    """(day dates, 7-day baseline dates) for an arbitrary 48 h window."""
+    import datetime as _dt
+
+    start = _dt.datetime.fromtimestamp(grid.start, tz=_dt.timezone.utc)
+    days = [
+        (start + _dt.timedelta(days=i)).strftime("%Y-%m-%d")
+        for i in range(max(1, grid.seconds // 86_400))
+    ]
+    baseline = [
+        (start - _dt.timedelta(days=i)).strftime("%Y-%m-%d")
+        for i in range(7, 0, -1)
+    ]
+    return days, baseline
+
+
+@dataclass(slots=True)
+class LetterTruth:
+    """Ground-truth per-bin site series for one letter (site order).
+
+    ``epoch_of_bin``/``stub_site_by_epoch`` record the routing history
+    at stub-AS granularity: bin *b*'s catchment for stub *i* is
+    ``stub_site_by_epoch[epoch_of_bin[b], i]`` (site index, -1 for no
+    route).  The recursive-resolver layer replays queries against this.
+    """
+
+    site_codes: list[str]
+    offered_qps: np.ndarray   # (n_bins, n_sites)
+    loss: np.ndarray          # (n_bins, n_sites)
+    delay_ms: np.ndarray      # (n_bins, n_sites)
+    announced: np.ndarray     # bool (n_bins, n_sites)
+    legit_offered_qps: np.ndarray = None  # (n_bins,)
+    legit_served_qps: np.ndarray = None   # (n_bins,)
+    epoch_of_bin: np.ndarray = None       # (n_bins,) int
+    stub_site_by_epoch: np.ndarray = None # (n_epochs, n_stubs) int16
+
+    def stub_site(self, bin_index: int, stub_index: int) -> int:
+        """Site index serving stub *stub_index* in bin *bin_index*."""
+        epoch = int(self.epoch_of_bin[bin_index])
+        return int(self.stub_site_by_epoch[epoch, stub_index])
+
+
+@dataclass(slots=True)
+class ScenarioResult:
+    """Everything the analysis pipeline consumes."""
+
+    config: ScenarioConfig
+    grid: TimeGrid
+    topology: Topology
+    deployments: dict[str, LetterDeployment]
+    facilities: FacilityRegistry
+    botnet: Botnet
+    collectors: BgpCollectors
+    atlas: AtlasDataset
+    rssac: dict[str, tuple[DailyReport, ...]]
+    route_changes: dict[str, np.ndarray]
+    truth: dict[str, LetterTruth]
+    nl: NlService | None
+    duplicate_ratio: float = 0.0
+    letters: list[str] = field(default_factory=list)
+
+    def vps(self) -> VantagePointTable:
+        return self.atlas.vps
+
+    def event_intervals(self) -> tuple:
+        """The attack intervals of this scenario's events."""
+        return tuple(e.interval for e in self.config.events)
+
+    def event_mask(self) -> np.ndarray:
+        """Boolean per-bin mask over this scenario's own events."""
+        return self.grid.event_mask(self.event_intervals())
+
+
+def _run_controller(
+    controller,
+    dep: LetterDeployment,
+    bin_index: int,
+    codes: list[str],
+    capacity: np.ndarray,
+    offered: np.ndarray,
+    loss: np.ndarray,
+    timestamp: float,
+) -> None:
+    """Drive one defense controller for one letter-bin."""
+    from ..defense.controllers import Action, ActionKind, OracleController
+    from ..defense.observation import LetterObservation, SiteObservation
+
+    sites = []
+    for i, code in enumerate(codes):
+        accepted = float(offered[i] * (1.0 - loss[i]))
+        dropped = float(offered[i] * loss[i])
+        state = dep.states[code]
+        sites.append(
+            SiteObservation(
+                code=code,
+                capacity_qps=float(capacity[i]),
+                accepted_qps=accepted,
+                dropped_qps=dropped,
+                announced=dep.prefix.is_announced(code),
+                partial=state.partial,
+            )
+        )
+    observation = LetterObservation(
+        letter=dep.letter, bin_index=bin_index, sites=tuple(sites)
+    )
+    if isinstance(controller, OracleController):
+        controller.set_truth(
+            {code: float(offered[i]) for i, code in enumerate(codes)}
+        )
+    for action in controller.decide(observation):
+        if not isinstance(action, Action):
+            raise TypeError(f"controller returned {action!r}")
+        if action.kind is ActionKind.WITHDRAW:
+            dep.prefix.withdraw(action.site, timestamp)
+        elif action.kind is ActionKind.ANNOUNCE:
+            dep.prefix.announce(action.site, timestamp)
+        elif action.kind is ActionKind.PARTIAL:
+            dep.prefix.set_blocked(
+                action.site,
+                dep._blocked_set_for_partial(action.site),
+                timestamp,
+            )
+            dep.states[action.site].partial = True
+        elif action.kind is ActionKind.RESTORE:
+            dep.prefix.set_blocked(action.site, frozenset(), timestamp)
+            dep.states[action.site].partial = False
+
+
+def simulate(config: ScenarioConfig) -> ScenarioResult:
+    """Run the full scenario and return the dataset bundle."""
+    rngs = RngFactory(config.seed)
+    grid = config.grid()
+
+    topology = build_topology(
+        config.topology_config(), rngs.get("topology")
+    )
+    facilities = FacilityRegistry(
+        ingress_factor=FACILITY_INGRESS_FACTOR
+    )
+    specs = (
+        config.custom_letters
+        if config.custom_letters is not None
+        else LETTERS_SPEC
+    )
+    if config.letters is not None:
+        specs = {letter: specs[letter] for letter in config.letters}
+    deployments = build_deployments(topology, facilities, specs)
+    letters = sorted(deployments)
+
+    vps = build_vps(topology, config.vp_config(), rngs.get("atlas.vps"))
+    botnet = build_botnet(topology, config.botnet, rngs.get("attack.botnet"))
+    collectors = build_collectors(
+        topology, config.bgpmon, rngs.get("bgpmon.peers")
+    )
+    nl = (
+        NlService(config.nl, grid, facilities)
+        if config.include_nl
+        else None
+    )
+
+    probers = {
+        letter: LetterProber(
+            deployments[letter], vps, grid, rngs.get(f"atlas.{letter}")
+        )
+        for letter in letters
+    }
+    workloads = {
+        letter: BaselineWorkload(base_qps=specs[letter].baseline_qps)
+        for letter in letters
+    }
+    truth = {
+        letter: LetterTruth(
+            site_codes=list(deployments[letter].site_order),
+            offered_qps=np.zeros(
+                (grid.n_bins, len(deployments[letter].site_order))
+            ),
+            loss=np.zeros(
+                (grid.n_bins, len(deployments[letter].site_order))
+            ),
+            delay_ms=np.zeros(
+                (grid.n_bins, len(deployments[letter].site_order))
+            ),
+            announced=np.zeros(
+                (grid.n_bins, len(deployments[letter].site_order)),
+                dtype=bool,
+            ),
+            legit_offered_qps=np.zeros(grid.n_bins),
+            legit_served_qps=np.zeros(grid.n_bins),
+            epoch_of_bin=np.zeros(grid.n_bins, dtype=np.int64),
+        )
+        for letter in letters
+    }
+    stub_index = {asn: i for i, asn in enumerate(topology.stub_asns)}
+    epoch_tables: dict[str, dict[int, int]] = {L: {} for L in letters}
+    epoch_catchments: dict[str, list[np.ndarray]] = {
+        L: [] for L in letters
+    }
+    day_dates, baseline_dates = window_dates(grid)
+    accumulators = {
+        letter: {date: DayAccumulator() for date in day_dates}
+        for letter in letters
+    }
+
+    bot_share_cache: dict[tuple[str, int], dict[str, float]] = {}
+    legit_share_cache: dict[tuple[str, int], dict[str, float]] = {}
+    spill: dict[str, float] = {letter: 0.0 for letter in letters}
+    duplicate_ratio = 1.0 - config.botnet.tail_share
+
+    for b in range(grid.n_bins):
+        ts = grid.bin_start(b)
+        tc = ts + grid.bin_seconds / 2.0
+        date = day_dates[
+            min(len(day_dates) - 1, b * grid.bin_seconds // 86_400)
+        ]
+        event = active_event(config.events, tc)
+
+        # --- Pass 1: offered load per site, across all letters. -------
+        offered_by_label: dict[str, float] = {}
+        per_letter: dict[str, dict] = {}
+        for letter in letters:
+            dep = deployments[letter]
+            table = dep.routing()
+            key = (letter, id(table))
+            bot_shares = bot_share_cache.get(key)
+            if bot_shares is None:
+                bot_shares = botnet.load_shares_by_site(table)
+                bot_share_cache[key] = bot_shares
+            legit_shares = legit_share_cache.get(key)
+            if legit_shares is None:
+                legit_shares = legit_shares_by_site(
+                    table, topology.stub_asns
+                )
+                legit_share_cache[key] = legit_shares
+
+            epoch = epoch_tables[letter].get(id(table))
+            if epoch is None:
+                epoch = len(epoch_catchments[letter])
+                epoch_tables[letter][id(table)] = epoch
+                code_idx = {
+                    c: i
+                    for i, c in enumerate(deployments[letter].site_order)
+                }
+                catchment = np.full(
+                    len(topology.stub_asns), -1, dtype=np.int16
+                )
+                for asn, i in stub_index.items():
+                    site = table.site_of(asn)
+                    if site is not None:
+                        catchment[i] = code_idx[site]
+                epoch_catchments[letter].append(catchment)
+            truth[letter].epoch_of_bin[b] = epoch
+
+            attack_qps = attack_rate(config.events, letter, tc)
+            legit_qps = workloads[letter].rate_at(tc)
+            spill_qps = spill[letter]
+
+            codes = dep.site_order
+            attack_site = np.array(
+                [attack_qps * bot_shares.get(c, 0.0) for c in codes]
+            )
+            legit_site = np.array(
+                [
+                    (legit_qps + spill_qps) * legit_shares.get(c, 0.0)
+                    for c in codes
+                ]
+            )
+            offered = attack_site + legit_site
+            for i, code in enumerate(codes):
+                if offered[i] > 0:
+                    label = dep.spec.site(code).label(letter)
+                    offered_by_label[label] = float(offered[i])
+            per_letter[letter] = {
+                "table": table,
+                "attack_site": attack_site,
+                "legit_site": legit_site,
+                "offered": offered,
+                "attack_qps": attack_qps,
+                "legit_qps": legit_qps,
+                "spill_qps": spill_qps,
+            }
+
+        if nl is not None:
+            offered_by_label.update(nl.node_offered(tc))
+
+        # --- Pass 2: facility spillover. -------------------------------
+        facility_extra = facilities.spillover(offered_by_label)
+
+        # --- Pass 3: per-letter outcomes, probing, policies. -----------
+        new_spill_sources: dict[str, float] = {}
+        for letter in letters:
+            dep = deployments[letter]
+            data = per_letter[letter]
+            codes = dep.site_order
+            capacity = dep.capacity_by_site()
+            offered = data["offered"]
+            rho, loss, delay = config.overload.evaluate(offered, capacity)
+            delay = np.minimum(
+                delay, dep.buffer_caps(config.overload.buffer_ms)
+            )
+
+            extra = np.array(
+                [
+                    facility_extra.get(dep.spec.site(c).label(letter), 0.0)
+                    for c in codes
+                ]
+            )
+            combined_loss = 1.0 - (1.0 - loss) * (1.0 - extra)
+            overloaded = rho > OVERLOAD_RHO
+
+            conditions = SiteBinConditions(
+                loss=combined_loss,
+                delay_ms=delay,
+                overloaded=overloaded,
+            )
+            probers[letter].sample_bin(b, data["table"], conditions)
+
+            t = truth[letter]
+            t.offered_qps[b] = offered
+            t.loss[b] = combined_loss
+            t.delay_ms[b] = delay
+            t.announced[b] = dep.announced_mask()
+
+            # RSSAC accumulation: what the servers accepted.
+            accepted_frac = 1.0 - combined_loss
+            attack_accepted = float(
+                (data["attack_site"] * accepted_frac).sum()
+            )
+            legit_accepted = float(
+                (data["legit_site"] * accepted_frac).sum()
+            )
+            legit_offered = data["legit_qps"] + data["spill_qps"]
+            t.legit_offered_qps[b] = legit_offered
+            t.legit_served_qps[b] = legit_accepted
+            if legit_offered > 0:
+                spill_fraction = data["spill_qps"] / legit_offered
+            else:
+                spill_fraction = 0.0
+            acc = accumulators[letter][date]
+            qname_payload = None
+            resp_payload = None
+            if event is not None and data["attack_qps"] > 0:
+                qname_payload = make_query(0, event.qname).wire_size
+                resp_payload = event.response_wire_bytes - 40
+            acc.add_bin(
+                legit_accepted=legit_accepted * (1.0 - spill_fraction),
+                spill_accepted=legit_accepted * spill_fraction,
+                attack_accepted=attack_accepted,
+                bin_seconds=grid.bin_seconds,
+                attack_query_payload=qname_payload,
+                attack_response_payload=resp_payload,
+            )
+
+            # Letter flips: legitimate queries lost here are retried at
+            # the other letters next bin.
+            lost_legit = float(
+                (data["legit_site"] * combined_loss).sum()
+            )
+            unrouted = 1.0 - sum(
+                v
+                for k, v in legit_share_cache[
+                    (letter, id(data["table"]))
+                ].items()
+            )
+            lost_legit += max(0.0, unrouted) * legit_offered
+            new_spill_sources[letter] = lost_legit
+
+            # Control loop (affects routing from the next bin): either
+            # the deployment's built-in static policies or a pluggable
+            # defense controller (repro.defense).
+            controller = (
+                config.controllers.get(letter)
+                if config.controllers
+                else None
+            )
+            if controller is None:
+                rho_by_site = {
+                    code: float(rho[i]) for i, code in enumerate(codes)
+                }
+                dep.apply_policies(
+                    rho_by_site,
+                    letter_under_attack=data["attack_qps"] > 0,
+                    timestamp=float(ts + grid.bin_seconds),
+                )
+            else:
+                _run_controller(
+                    controller, dep, b, codes, capacity, offered,
+                    combined_loss, float(ts + grid.bin_seconds),
+                )
+
+        if nl is not None:
+            nl.record_bin(b, facility_extra)
+
+        spill = retry_spill(new_spill_sources, letters)
+
+    # --- Package outputs. ----------------------------------------------
+    atlas = AtlasDataset(
+        grid=grid,
+        vps=vps,
+        letters={letter: probers[letter].finish() for letter in letters},
+    )
+
+    for letter in letters:
+        truth[letter].stub_site_by_epoch = np.stack(
+            epoch_catchments[letter]
+        )
+
+    rssac_rng = rngs.get("rssac.noise")
+    rssac: dict[str, tuple[DailyReport, ...]] = {}
+    for letter in letters:
+        spec = specs[letter]
+        reports = [
+            build_baseline_report(spec, date, rssac_rng)
+            for date in baseline_dates[-config.baseline_days:]
+        ]
+        for date in day_dates:
+            reports.append(
+                build_daily_report(
+                    spec,
+                    date,
+                    accumulators[letter][date],
+                    duplicate_ratio=duplicate_ratio,
+                    spoof_pool_size=config.botnet.spoof_pool_size,
+                    rng=rssac_rng,
+                )
+            )
+        rssac[letter] = tuple(reports)
+
+    bgp_rng = rngs.get("bgpmon.updates")
+    route_changes = {
+        letter: collectors.route_changes_per_bin(
+            deployments[letter].prefix, grid, bgp_rng
+        )
+        for letter in letters
+    }
+
+    return ScenarioResult(
+        config=config,
+        grid=grid,
+        topology=topology,
+        deployments=deployments,
+        facilities=facilities,
+        botnet=botnet,
+        collectors=collectors,
+        atlas=atlas,
+        rssac=rssac,
+        route_changes=route_changes,
+        truth=truth,
+        nl=nl,
+        duplicate_ratio=duplicate_ratio,
+        letters=letters,
+    )

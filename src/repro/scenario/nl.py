@@ -1,0 +1,100 @@
+"""The .nl TLD service, co-located with root sites (paper section 3.6).
+
+SIDN operates .nl on four unicast deployments plus multiple anycast
+services; two anycast deployments sit near root sites (the paper
+anonymises rates and locations).  We place those two nodes in the
+shared Frankfurt and Amsterdam facilities with full ingress coupling:
+when the root sites in the same facility drown, the .nl nodes' queries
+are lost with them, and the remaining .nl servers carry the zone
+(Fig. 15 shows the two co-located nodes dropping to nearly zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..attack.workload import BaselineWorkload
+from ..rootdns.facility import FacilityRegistry
+from ..util.timegrid import TimeGrid
+
+#: The two co-located anycast nodes and their shared facilities.
+COLOCATED_NODES = (
+    ("nl-anycast-1", "FRA-DC"),
+    ("nl-anycast-2", "AMS-DC"),
+)
+
+#: Stand-alone .nl deployments (unicast; not co-located with roots).
+STANDALONE_NODES = ("nl-uni-1", "nl-uni-2", "nl-uni-3", "nl-uni-4")
+
+
+@dataclass(frozen=True, slots=True)
+class NlConfig:
+    """Knobs for the .nl model."""
+
+    base_qps: float = 60_000.0
+    node_capacity_qps: float = 50_000.0
+    anycast_share: float = 0.25  # traffic share per co-located node
+
+    def __post_init__(self) -> None:
+        if self.base_qps <= 0 or self.node_capacity_qps <= 0:
+            raise ValueError("rates must be positive")
+        if not 0.0 < self.anycast_share < 0.5:
+            raise ValueError("anycast_share must be within (0, 0.5)")
+
+
+class NlService:
+    """Per-bin served query rates for every .nl node."""
+
+    def __init__(
+        self,
+        config: NlConfig,
+        grid: TimeGrid,
+        facilities: FacilityRegistry,
+    ) -> None:
+        self.config = config
+        self.grid = grid
+        self.workload = BaselineWorkload(base_qps=config.base_qps)
+        self.node_labels = [name for name, _ in COLOCATED_NODES] + list(
+            STANDALONE_NODES
+        )
+        self.served = np.zeros(
+            (grid.n_bins, len(self.node_labels)), dtype=np.float64
+        )
+        for name, facility in COLOCATED_NODES:
+            facilities.register(
+                facility, name, config.node_capacity_qps, coupling=1.0
+            )
+
+    def node_offered(self, timestamp: float) -> dict[str, float]:
+        """Offered .nl query rate per node at *timestamp*."""
+        total = self.workload.rate_at(timestamp)
+        offered = {}
+        for name, _ in COLOCATED_NODES:
+            offered[name] = total * self.config.anycast_share
+        rest = total * (1.0 - 2 * self.config.anycast_share)
+        for name in STANDALONE_NODES:
+            offered[name] = rest / len(STANDALONE_NODES)
+        return offered
+
+    def record_bin(
+        self, bin_index: int, facility_extra_loss: dict[str, float]
+    ) -> None:
+        """Record served rates for one bin, given facility spillover."""
+        timestamp = self.grid.bin_start(bin_index) + (
+            self.grid.bin_seconds / 2.0
+        )
+        offered = self.node_offered(timestamp)
+        for i, name in enumerate(self.node_labels):
+            loss = facility_extra_loss.get(name, 0.0)
+            self.served[bin_index, i] = offered[name] * (1.0 - loss)
+
+    def normalized_series(self) -> np.ndarray:
+        """Each node's served rate normalised to its own median.
+
+        This is the shape Fig. 15 plots (absolute rates anonymised).
+        """
+        medians = np.median(self.served, axis=0)
+        medians[medians == 0] = 1.0
+        return self.served / medians

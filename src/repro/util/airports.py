@@ -1,0 +1,219 @@
+"""Airport code table used to place anycast sites and vantage points.
+
+The paper identifies anycast sites as ``X-APT`` where ``X`` is the root
+letter and ``APT`` a three-letter airport code near the site (section
+2.4.1).  This module provides approximate coordinates for every site code
+appearing in the paper's figures (all E- and K-Root sites of Figs. 5-6,
+H-Root's two sites, B-Root's single site, ...) plus a worldwide pool used
+to synthesise sites for letters whose per-site data the paper does not
+publish.
+
+Coordinates are approximate (a tenth of a degree is ~11 km, irrelevant at
+RTT scale).  A few of the paper's codes are not IATA airports: ``ARC`` is
+NASA Ames Research Center (operator of E-Root), and we place the handful
+of otherwise-ambiguous codes (``ABO``, ``AVN``, ``KAE``, ``PLX``) at
+plausible hosts; only their coarse geography matters for the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .geo import Location
+
+#: Continental region tags used for vantage-point biasing.
+REGIONS = ("EU", "NA", "SA", "AS", "ME", "AF", "OC")
+
+
+@dataclass(frozen=True, slots=True)
+class Airport:
+    """A place where an anycast site or a vantage point can live."""
+
+    code: str
+    city: str
+    location: Location
+    region: str
+
+    def __post_init__(self) -> None:
+        if len(self.code) != 3 or not self.code.isupper():
+            raise ValueError(f"airport codes are 3 uppercase letters: {self.code}")
+        if self.region not in REGIONS:
+            raise ValueError(f"unknown region {self.region!r} for {self.code}")
+
+
+def _a(code: str, city: str, lat: float, lon: float, region: str) -> Airport:
+    return Airport(code, city, Location(lat, lon), region)
+
+
+_AIRPORTS = [
+    # --- Europe ---------------------------------------------------------
+    _a("AMS", "Amsterdam", 52.3, 4.8, "EU"),
+    _a("LHR", "London", 51.5, -0.5, "EU"),
+    _a("FRA", "Frankfurt", 50.0, 8.6, "EU"),
+    _a("CDG", "Paris", 49.0, 2.5, "EU"),
+    _a("VIE", "Vienna", 48.1, 16.6, "EU"),
+    _a("ZRH", "Zurich", 47.5, 8.6, "EU"),
+    _a("GVA", "Geneva", 46.2, 6.1, "EU"),
+    _a("WAW", "Warsaw", 52.2, 20.9, "EU"),
+    _a("POZ", "Poznan", 52.4, 16.8, "EU"),
+    _a("BER", "Berlin", 52.4, 13.5, "EU"),
+    _a("HAM", "Hamburg", 53.6, 10.0, "EU"),
+    _a("MUC", "Munich", 48.4, 11.8, "EU"),
+    _a("DUS", "Dusseldorf", 51.3, 6.8, "EU"),
+    _a("STR", "Stuttgart", 48.7, 9.2, "EU"),
+    _a("MAN", "Manchester", 53.4, -2.3, "EU"),
+    _a("LBA", "Leeds", 53.9, -1.7, "EU"),
+    _a("DUB", "Dublin", 53.4, -6.2, "EU"),
+    _a("BRU", "Brussels", 50.9, 4.5, "EU"),
+    _a("LUX", "Luxembourg", 49.6, 6.2, "EU"),
+    _a("MIL", "Milan", 45.5, 9.3, "EU"),
+    _a("TRN", "Turin", 45.2, 7.6, "EU"),
+    _a("VCE", "Venice", 45.5, 12.4, "EU"),
+    _a("FCO", "Rome", 41.8, 12.3, "EU"),
+    _a("NAP", "Naples", 40.9, 14.3, "EU"),
+    _a("PRG", "Prague", 50.1, 14.3, "EU"),
+    _a("BTS", "Bratislava", 48.2, 17.2, "EU"),
+    _a("BUD", "Budapest", 47.4, 19.3, "EU"),
+    _a("ATH", "Athens", 37.9, 23.9, "EU"),
+    _a("SKG", "Thessaloniki", 40.5, 23.0, "EU"),
+    _a("BEG", "Belgrade", 44.8, 20.3, "EU"),
+    _a("ZAG", "Zagreb", 45.7, 16.1, "EU"),
+    _a("LJU", "Ljubljana", 46.2, 14.5, "EU"),
+    _a("SOF", "Sofia", 42.7, 23.4, "EU"),
+    _a("OTP", "Bucharest", 44.6, 26.1, "EU"),
+    _a("RIX", "Riga", 56.9, 23.9, "EU"),
+    _a("VNO", "Vilnius", 54.6, 25.3, "EU"),
+    _a("TLL", "Tallinn", 59.4, 24.8, "EU"),
+    _a("HEL", "Helsinki", 60.3, 24.9, "EU"),
+    _a("ARN", "Stockholm", 59.7, 18.0, "EU"),
+    _a("OSL", "Oslo", 60.2, 11.1, "EU"),
+    _a("CPH", "Copenhagen", 55.6, 12.6, "EU"),
+    _a("MAD", "Madrid", 40.5, -3.6, "EU"),
+    _a("BCN", "Barcelona", 41.3, 2.1, "EU"),
+    _a("LIS", "Lisbon", 38.8, -9.1, "EU"),
+    _a("AVN", "Avignon", 43.9, 4.9, "EU"),
+    _a("REY", "Reykjavik", 64.1, -21.9, "EU"),
+    _a("KBP", "Kyiv", 50.3, 30.9, "EU"),
+    _a("LED", "St. Petersburg", 59.8, 30.3, "EU"),
+    _a("DME", "Moscow", 55.4, 37.9, "EU"),
+    # --- North America --------------------------------------------------
+    _a("IAD", "Washington DC", 38.9, -77.5, "NA"),
+    _a("BWI", "Baltimore", 39.2, -76.7, "NA"),
+    _a("JFK", "New York", 40.6, -73.8, "NA"),
+    _a("LGA", "New York LGA", 40.8, -73.9, "NA"),
+    _a("PHL", "Philadelphia", 39.9, -75.2, "NA"),
+    _a("BOS", "Boston", 42.4, -71.0, "NA"),
+    _a("ATL", "Atlanta", 33.6, -84.4, "NA"),
+    _a("MIA", "Miami", 25.8, -80.3, "NA"),
+    _a("ORD", "Chicago", 42.0, -87.9, "NA"),
+    _a("MSP", "Minneapolis", 44.9, -93.2, "NA"),
+    _a("DTW", "Detroit", 42.2, -83.4, "NA"),
+    _a("DFW", "Dallas", 32.9, -97.0, "NA"),
+    _a("IAH", "Houston", 30.0, -95.3, "NA"),
+    _a("DEN", "Denver", 39.9, -104.7, "NA"),
+    _a("PHX", "Phoenix", 33.4, -112.0, "NA"),
+    _a("SLC", "Salt Lake City", 40.8, -112.0, "NA"),
+    _a("LAS", "Las Vegas", 36.1, -115.2, "NA"),
+    _a("NLV", "North Las Vegas", 36.2, -115.2, "NA"),
+    _a("RNO", "Reno", 39.5, -119.8, "NA"),
+    _a("LAX", "Los Angeles", 33.9, -118.4, "NA"),
+    _a("BUR", "Burbank", 34.2, -118.4, "NA"),
+    _a("SNA", "Santa Ana", 33.7, -117.9, "NA"),
+    _a("SAN", "San Diego", 32.7, -117.2, "NA"),
+    _a("SFO", "San Francisco", 37.6, -122.4, "NA"),
+    _a("SJC", "San Jose", 37.4, -121.9, "NA"),
+    _a("PAO", "Palo Alto", 37.5, -122.1, "NA"),
+    _a("ARC", "NASA Ames (Moffett Field)", 37.4, -122.1, "NA"),
+    _a("SEA", "Seattle", 47.4, -122.3, "NA"),
+    _a("PDX", "Portland", 45.6, -122.6, "NA"),
+    _a("MCI", "Kansas City Intl", 39.3, -94.7, "NA"),
+    _a("MKC", "Kansas City", 39.1, -94.6, "NA"),
+    _a("ANC", "Anchorage", 61.2, -150.0, "NA"),
+    _a("KAE", "Kake, Alaska", 57.0, -134.0, "NA"),
+    _a("HNL", "Honolulu", 21.3, -157.9, "NA"),
+    _a("YYZ", "Toronto", 43.7, -79.6, "NA"),
+    _a("YUL", "Montreal", 45.5, -73.7, "NA"),
+    _a("YVR", "Vancouver", 49.2, -123.2, "NA"),
+    _a("YYC", "Calgary", 51.1, -114.0, "NA"),
+    _a("MEX", "Mexico City", 19.4, -99.1, "NA"),
+    # --- South America ---------------------------------------------------
+    _a("GRU", "Sao Paulo", -23.4, -46.5, "SA"),
+    _a("GIG", "Rio de Janeiro", -22.8, -43.2, "SA"),
+    _a("EZE", "Buenos Aires", -34.8, -58.5, "SA"),
+    _a("SCL", "Santiago", -33.4, -70.8, "SA"),
+    _a("BOG", "Bogota", 4.7, -74.1, "SA"),
+    _a("LIM", "Lima", -12.0, -77.1, "SA"),
+    _a("UIO", "Quito", -0.1, -78.4, "SA"),
+    _a("CCS", "Caracas", 10.6, -67.0, "SA"),
+    # --- Asia ------------------------------------------------------------
+    _a("NRT", "Tokyo Narita", 35.8, 140.4, "AS"),
+    _a("HND", "Tokyo Haneda", 35.6, 139.8, "AS"),
+    _a("KIX", "Osaka", 34.4, 135.2, "AS"),
+    _a("ICN", "Seoul", 37.5, 126.5, "AS"),
+    _a("PEK", "Beijing", 40.1, 116.6, "AS"),
+    _a("PVG", "Shanghai", 31.1, 121.8, "AS"),
+    _a("HKG", "Hong Kong", 22.3, 113.9, "AS"),
+    _a("TPE", "Taipei", 25.1, 121.2, "AS"),
+    _a("SIN", "Singapore", 1.4, 104.0, "AS"),
+    _a("QPG", "Singapore Paya Lebar", 1.4, 103.9, "AS"),
+    _a("KUL", "Kuala Lumpur", 2.7, 101.7, "AS"),
+    _a("BKK", "Bangkok", 13.7, 100.8, "AS"),
+    _a("CGK", "Jakarta", -6.1, 106.7, "AS"),
+    _a("MNL", "Manila", 14.5, 121.0, "AS"),
+    _a("BOM", "Mumbai", 19.1, 72.9, "AS"),
+    _a("DEL", "Delhi", 28.6, 77.1, "AS"),
+    _a("MAA", "Chennai", 13.0, 80.2, "AS"),
+    _a("OVB", "Novosibirsk", 55.0, 82.7, "AS"),
+    _a("PLX", "Semey", 50.4, 80.2, "AS"),
+    _a("ALA", "Almaty", 43.4, 77.0, "AS"),
+    # --- Middle East -----------------------------------------------------
+    _a("DXB", "Dubai", 25.3, 55.4, "ME"),
+    _a("AUH", "Abu Dhabi", 24.4, 54.7, "ME"),
+    _a("ABO", "Abu Dhabi area", 24.5, 54.4, "ME"),
+    _a("DOH", "Doha", 25.3, 51.6, "ME"),
+    _a("THR", "Tehran", 35.7, 51.3, "ME"),
+    _a("TLV", "Tel Aviv", 32.0, 34.9, "ME"),
+    _a("AMM", "Amman", 31.7, 36.0, "ME"),
+    _a("IST", "Istanbul", 41.0, 28.8, "ME"),
+    _a("KWI", "Kuwait City", 29.2, 48.0, "ME"),
+    # --- Africa ----------------------------------------------------------
+    _a("JNB", "Johannesburg", -26.1, 28.2, "AF"),
+    _a("CPT", "Cape Town", -34.0, 18.6, "AF"),
+    _a("NBO", "Nairobi", -1.3, 36.9, "AF"),
+    _a("KGL", "Kigali", -2.0, 30.1, "AF"),
+    _a("LAD", "Luanda", -8.9, 13.2, "AF"),
+    _a("CAI", "Cairo", 30.1, 31.4, "AF"),
+    _a("CMN", "Casablanca", 33.4, -7.6, "AF"),
+    _a("DKR", "Dakar", 14.7, -17.5, "AF"),
+    _a("TUN", "Tunis", 36.9, 10.2, "AF"),
+    _a("LOS", "Lagos", 6.6, 3.3, "AF"),
+    # --- Oceania ---------------------------------------------------------
+    _a("SYD", "Sydney", -33.9, 151.2, "OC"),
+    _a("MEL", "Melbourne", -37.7, 144.8, "OC"),
+    _a("BNE", "Brisbane", -27.4, 153.1, "OC"),
+    _a("PER", "Perth", -31.9, 116.0, "OC"),
+    _a("ADL", "Adelaide", -34.9, 138.5, "OC"),
+    _a("AKL", "Auckland", -37.0, 174.8, "OC"),
+    _a("WLG", "Wellington", -41.3, 174.8, "OC"),
+]
+
+#: Mapping of airport code to :class:`Airport` for every known code.
+AIRPORTS: dict[str, Airport] = {ap.code: ap for ap in _AIRPORTS}
+
+if len(AIRPORTS) != len(_AIRPORTS):  # pragma: no cover - table sanity
+    raise AssertionError("duplicate airport codes in table")
+
+
+def airport(code: str) -> Airport:
+    """Look up an airport by code, raising :class:`KeyError` if unknown."""
+    try:
+        return AIRPORTS[code]
+    except KeyError:
+        raise KeyError(f"unknown airport code {code!r}") from None
+
+
+def codes_in_region(region: str) -> list[str]:
+    """All airport codes in *region*, in table order."""
+    if region not in REGIONS:
+        raise ValueError(f"unknown region {region!r}")
+    return [ap.code for ap in _AIRPORTS if ap.region == region]

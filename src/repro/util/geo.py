@@ -1,0 +1,92 @@
+"""Geographic primitives: coordinates, great-circle distance, RTT model.
+
+Catchments in the paper are shaped by BGP policy, but latency between a
+vantage point and an anycast site is dominated by geography.  We model
+propagation delay from great-circle distance with a path-inflation factor,
+which reproduces the per-letter baseline RTT differences visible in the
+paper's Figure 4 (e.g. H-Root's US-east vs US-west RTT step as seen from
+mostly-European Atlas probes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Mean Earth radius in kilometres.
+EARTH_RADIUS_KM = 6371.0
+
+#: Signal speed in fibre, km per millisecond (about 2/3 c).
+FIBRE_KM_PER_MS = 200.0
+
+#: Multiplier accounting for paths not following great circles.
+PATH_INFLATION = 1.5
+
+#: Fixed per-query overhead (serialisation, processing), milliseconds.
+BASE_OVERHEAD_MS = 8.0
+
+
+@dataclass(frozen=True, slots=True)
+class Location:
+    """A point on Earth, in decimal degrees."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude out of range: {self.lon}")
+
+
+def haversine_km(a: Location, b: Location) -> float:
+    """Great-circle distance between two locations in kilometres."""
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = (
+        math.sin(dlat / 2.0) ** 2
+        + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+
+
+def haversine_km_vec(
+    lats1: np.ndarray,
+    lons1: np.ndarray,
+    lats2: np.ndarray,
+    lons2: np.ndarray,
+) -> np.ndarray:
+    """Vectorised great-circle distance, broadcasting over inputs."""
+    lat1 = np.radians(np.asarray(lats1, dtype=np.float64))
+    lon1 = np.radians(np.asarray(lons1, dtype=np.float64))
+    lat2 = np.radians(np.asarray(lats2, dtype=np.float64))
+    lon2 = np.radians(np.asarray(lons2, dtype=np.float64))
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = (
+        np.sin(dlat / 2.0) ** 2
+        + np.cos(lat1) * np.cos(lat2) * np.sin(dlon / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_KM * np.arcsin(np.minimum(1.0, np.sqrt(h)))
+
+
+def propagation_rtt_ms(distance_km: float) -> float:
+    """Unloaded round-trip time for a path of *distance_km* kilometres."""
+    one_way = distance_km * PATH_INFLATION / FIBRE_KM_PER_MS
+    return 2.0 * one_way + BASE_OVERHEAD_MS
+
+
+def propagation_rtt_ms_vec(distance_km: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`propagation_rtt_ms`."""
+    distance_km = np.asarray(distance_km, dtype=np.float64)
+    return 2.0 * distance_km * PATH_INFLATION / FIBRE_KM_PER_MS + BASE_OVERHEAD_MS
+
+
+def rtt_between(a: Location, b: Location) -> float:
+    """Unloaded RTT between two locations, in milliseconds."""
+    return propagation_rtt_ms(haversine_km(a, b))

@@ -1,0 +1,53 @@
+"""Randomness discipline for reproducible simulations.
+
+Every stochastic component in the package draws from a
+:class:`numpy.random.Generator` that is derived from a single scenario
+seed plus a stable component label.  This keeps results reproducible
+(same seed, same dataset) while decoupling components: adding draws to
+one component does not shift the streams of others.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+
+def derive_seed(root_seed: int, label: str) -> int:
+    """Derive a per-component seed from a root seed and a stable label."""
+    if root_seed < 0:
+        raise ValueError("root seed must be non-negative")
+    tag = zlib.crc32(label.encode("utf-8"))
+    return (root_seed * 0x9E3779B1 + tag) % (2**63)
+
+
+def component_rng(root_seed: int, label: str) -> np.random.Generator:
+    """A generator dedicated to one named component of the simulation."""
+    return np.random.default_rng(derive_seed(root_seed, label))
+
+
+class RngFactory:
+    """Hands out independent per-component generators for one scenario.
+
+    >>> rngs = RngFactory(seed=42)
+    >>> a = rngs.get("atlas.probes")
+    >>> b = rngs.get("attack.botnet")
+    """
+
+    def __init__(self, seed: int) -> None:
+        if seed < 0:
+            raise ValueError("seed must be non-negative")
+        self.seed = seed
+        self._issued: set[str] = set()
+
+    def get(self, label: str) -> np.random.Generator:
+        """Return a fresh generator for *label*.
+
+        Each label may be requested once per factory, which catches the
+        bug of two components accidentally sharing a stream.
+        """
+        if label in self._issued:
+            raise ValueError(f"RNG stream {label!r} already issued")
+        self._issued.add(label)
+        return component_rng(self.seed, label)

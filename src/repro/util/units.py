@@ -1,0 +1,45 @@
+"""Unit conversions used throughout the reproduction.
+
+The paper reports traffic in Mq/s (million queries per second) and Gb/s
+(gigabits per second).  Converting between them requires the on-wire
+packet size; section 3.1 derives 84/85-byte queries and 493/494-byte
+responses for the event traffic (DNS payload plus 40 bytes of IP, UDP
+and DNS header overhead).
+"""
+
+from __future__ import annotations
+
+#: Bytes of IP + UDP + DNS header overhead added to a DNS payload
+#: (section 3.1 of the paper).
+HEADER_OVERHEAD_BYTES = 40
+
+#: Bits per byte; spelled out so bitrate formulas read naturally.
+BITS_PER_BYTE = 8
+
+#: Full on-wire sizes the paper confirms for the event traffic.
+EVENT_QUERY_WIRE_BYTES_NOV30 = 84
+EVENT_QUERY_WIRE_BYTES_DEC1 = 85
+EVENT_RESPONSE_WIRE_BYTES = 494
+
+
+def mqps(queries_per_second: float) -> float:
+    """Queries/s expressed in Mq/s (the paper's unit)."""
+    return queries_per_second / 1e6
+
+def qps_from_mqps(mega_queries_per_second: float) -> float:
+    """Mq/s back to raw queries/s."""
+    return mega_queries_per_second * 1e6
+
+
+def gbps(queries_per_second: float, wire_bytes: float) -> float:
+    """Bitrate in Gb/s for a query stream of fixed on-wire size."""
+    if wire_bytes < 0:
+        raise ValueError("packet size cannot be negative")
+    return queries_per_second * wire_bytes * BITS_PER_BYTE / 1e9
+
+
+def wire_bytes(payload_bytes: float) -> float:
+    """On-wire packet size for a DNS payload (adds header overhead)."""
+    if payload_bytes < 0:
+        raise ValueError("payload size cannot be negative")
+    return payload_bytes + HEADER_OVERHEAD_BYTES

@@ -1,0 +1,154 @@
+"""Tests for the measurement platform: VPs, probing, probe records."""
+
+import numpy as np
+import pytest
+
+from repro.atlas import (
+    BOGUS_ANSWER,
+    VpPopulationConfig,
+    build_vps,
+    to_probe_records,
+)
+from repro.core import bin_probe_records
+from repro.datasets import RESP_BOGUS, RESP_NOT_PROBED
+from repro.netsim import TopologyConfig, build_topology
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(TopologyConfig(n_stubs=150),
+                          np.random.default_rng(4))
+
+
+class TestVpPopulation:
+    def test_count_and_attachment(self, topo):
+        vps = build_vps(topo, VpPopulationConfig(n_vps=200),
+                        np.random.default_rng(1))
+        assert len(vps) == 200
+        assert set(int(a) for a in vps.asns) <= set(topo.stub_asns)
+
+    def test_europe_bias_inherited(self, topo):
+        vps = build_vps(topo, VpPopulationConfig(n_vps=400),
+                        np.random.default_rng(1))
+        assert vps.europe_fraction() > 0.45
+
+    def test_firmware_and_hijack_fractions(self, topo):
+        config = VpPopulationConfig(
+            n_vps=1000, old_firmware_fraction=0.1, hijacked_fraction=0.05
+        )
+        vps = build_vps(topo, config, np.random.default_rng(1))
+        old = (vps.firmware < 4570).mean()
+        assert 0.05 < old < 0.15
+        assert 0.02 < vps.hijacked.mean() < 0.09
+
+    def test_deterministic(self, topo):
+        config = VpPopulationConfig(n_vps=100)
+        a = build_vps(topo, config, np.random.default_rng(9))
+        b = build_vps(topo, config, np.random.default_rng(9))
+        assert (a.asns == b.asns).all()
+        assert (a.lats == b.lats).all()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            VpPopulationConfig(n_vps=0)
+        with pytest.raises(ValueError):
+            VpPopulationConfig(hijacked_fraction=1.5)
+
+
+class TestProbingOutput:
+    def test_a_root_probed_every_third_bin(self, dataset):
+        obs = dataset.letter("A")
+        probed = obs.site_idx != RESP_NOT_PROBED
+        fraction = probed.mean()
+        assert 0.28 < fraction < 0.40
+
+    def test_other_letters_probed_every_bin(self, dataset):
+        obs = dataset.letter("K")
+        assert (obs.site_idx != RESP_NOT_PROBED).all()
+
+    def test_hijacked_vps_return_bogus(self, dataset):
+        hijacked = dataset.vps.hijacked
+        if not hijacked.any():
+            pytest.skip("no hijacked VP in this draw")
+        obs = dataset.letter("K")
+        bogus_rate = (obs.site_idx[:, hijacked] == RESP_BOGUS).mean()
+        assert bogus_rate > 0.95
+
+    def test_hijacked_rtts_are_fast(self, dataset):
+        hijacked = dataset.vps.hijacked
+        if not hijacked.any():
+            pytest.skip("no hijacked VP in this draw")
+        obs = dataset.letter("K")
+        rtts = obs.rtt_ms[:, hijacked]
+        assert np.nanmedian(rtts) < 7.0
+
+    def test_successful_rtts_plausible(self, dataset):
+        obs = dataset.letter("L")
+        success = obs.site_idx >= 0
+        rtts = obs.rtt_ms[success]
+        assert np.isfinite(rtts).all()
+        assert (rtts > 0).all()
+        assert np.median(rtts) < 300.0
+
+    def test_servers_populated_on_success(self, dataset):
+        obs = dataset.letter("K")
+        success = obs.site_idx >= 0
+        assert (obs.server[success] >= 1).all()
+        assert (obs.server[~success] == 0).all()
+
+
+class TestProbeLevelRoundTrip:
+    def test_records_rebin_to_original(self, dataset):
+        """Expanding bins to probe records and re-binning them must
+        reproduce the per-bin outcomes (site choice and class)."""
+        rng = np.random.default_rng(5)
+        vp_ids = dataset.vps.ids[:25]
+        records = list(
+            to_probe_records(dataset, "K", rng, vp_ids=vp_ids)
+        )
+        assert records, "no records generated"
+        obs = dataset.letter("K")
+        rebinned = bin_probe_records(
+            records,
+            "K",
+            dataset.grid,
+            vp_ids=[int(v) for v in vp_ids],
+            site_codes=obs.site_codes,
+        )
+        # Positions of these VPs in the original matrices.
+        pos = [int(np.where(dataset.vps.ids == v)[0][0]) for v in vp_ids]
+        original = obs.site_idx[:, pos]
+        assert (rebinned.site_idx == original).all()
+
+    def test_bogus_answer_matches_no_letter(self):
+        from repro.dns import matches_any_letter
+
+        assert matches_any_letter(BOGUS_ANSWER) is None
+
+    def test_record_fields(self, dataset):
+        rng = np.random.default_rng(5)
+        records = list(
+            to_probe_records(
+                dataset, "B", rng, vp_ids=dataset.vps.ids[:5]
+            )
+        )
+        for record in records[:50]:
+            assert record.letter == "B"
+            if record.answer is not None and record.answer != BOGUS_ANSWER:
+                assert record.rtt_ms is not None
+                assert record.rcode == 0
+
+
+class TestSiteBinConditions:
+    def test_misaligned_arrays_rejected(self):
+        import numpy as np
+        import pytest as _pytest
+
+        from repro.atlas import SiteBinConditions
+
+        with _pytest.raises(ValueError):
+            SiteBinConditions(
+                loss=np.zeros(3),
+                delay_ms=np.zeros(4),
+                overloaded=np.zeros(3, dtype=bool),
+            )

@@ -1,0 +1,17 @@
+"""Shared fixtures: one full scenario simulated once per test session."""
+
+import pytest
+
+from repro import ScenarioConfig, simulate
+
+
+@pytest.fixture(scope="session")
+def scenario():
+    """A full 13-letter scenario, sized to run in a few seconds."""
+    return simulate(ScenarioConfig(seed=7, n_stubs=500, n_vps=900))
+
+
+@pytest.fixture(scope="session")
+def dataset(scenario):
+    """The scenario's (uncleaned) Atlas dataset."""
+    return scenario.atlas

@@ -1,0 +1,124 @@
+"""Tests for probe-record binning with the paper's preference rule."""
+
+import pytest
+
+from repro.core import bin_probe_records
+from repro.datasets import (
+    ProbeRecord,
+    RESP_BOGUS,
+    RESP_ERROR,
+    RESP_NOT_PROBED,
+    RESP_TIMEOUT,
+)
+from repro.dns import format_identity
+from repro.util import TimeGrid
+
+
+def _record(vp=1, t=100.0, answer=None, rtt=None, rcode=None, letter="K"):
+    return ProbeRecord(
+        vp_id=vp, letter=letter, timestamp=t, answer=answer,
+        rtt_ms=rtt, rcode=rcode, firmware=4700,
+    )
+
+
+def _site(code, server=1):
+    return format_identity("K", code, server)
+
+
+@pytest.fixture
+def grid():
+    return TimeGrid(start=0, bin_seconds=600, n_bins=3)
+
+
+class TestPreferenceRule:
+    def test_site_beats_error(self, grid):
+        records = [
+            _record(t=100.0, rcode=2),
+            _record(t=200.0, answer=_site("AMS"), rtt=30.0, rcode=0),
+        ]
+        obs = bin_probe_records(records, "K", grid, vp_ids=[1])
+        assert obs.site_idx[0, 0] == 0
+        assert obs.site_codes == ["AMS"]
+
+    def test_site_beats_error_regardless_of_order(self, grid):
+        records = [
+            _record(t=100.0, answer=_site("AMS"), rtt=30.0, rcode=0),
+            _record(t=200.0, rcode=2),
+        ]
+        obs = bin_probe_records(records, "K", grid, vp_ids=[1])
+        assert obs.site_idx[0, 0] == 0
+
+    def test_error_beats_timeout(self, grid):
+        records = [
+            _record(t=100.0),            # timeout
+            _record(t=200.0, rcode=5),   # REFUSED
+        ]
+        obs = bin_probe_records(records, "K", grid, vp_ids=[1])
+        assert obs.site_idx[0, 0] == RESP_ERROR
+
+    def test_timeout_beats_missing(self, grid):
+        records = [_record(t=100.0)]
+        obs = bin_probe_records(records, "K", grid, vp_ids=[1])
+        assert obs.site_idx[0, 0] == RESP_TIMEOUT
+        assert obs.site_idx[1, 0] == RESP_NOT_PROBED
+
+    def test_unparseable_reply_is_bogus_but_beats_error(self, grid):
+        records = [
+            _record(t=100.0, rcode=2),
+            _record(t=200.0, answer="garbage", rtt=3.0, rcode=0),
+        ]
+        obs = bin_probe_records(records, "K", grid, vp_ids=[1])
+        assert obs.site_idx[0, 0] == RESP_BOGUS
+
+    def test_lowest_rtt_kept_among_successes(self, grid):
+        records = [
+            _record(t=100.0, answer=_site("AMS", 1), rtt=50.0, rcode=0),
+            _record(t=200.0, answer=_site("AMS", 2), rtt=20.0, rcode=0),
+            _record(t=300.0, answer=_site("AMS", 3), rtt=40.0, rcode=0),
+        ]
+        obs = bin_probe_records(records, "K", grid, vp_ids=[1])
+        assert obs.rtt_ms[0, 0] == pytest.approx(20.0)
+        assert obs.server[0, 0] == 2
+
+
+class TestScoping:
+    def test_other_letters_ignored(self, grid):
+        records = [_record(t=100.0, rcode=2, letter="E")]
+        obs = bin_probe_records(records, "K", grid, vp_ids=[1])
+        assert obs.site_idx[0, 0] == RESP_NOT_PROBED
+
+    def test_unknown_vp_ignored(self, grid):
+        records = [_record(vp=99, t=100.0, rcode=2)]
+        obs = bin_probe_records(records, "K", grid, vp_ids=[1])
+        assert obs.site_idx[0, 0] == RESP_NOT_PROBED
+
+    def test_out_of_grid_ignored(self, grid):
+        records = [_record(t=99_999.0, rcode=2)]
+        obs = bin_probe_records(records, "K", grid, vp_ids=[1])
+        assert (obs.site_idx == RESP_NOT_PROBED).all()
+
+    def test_fixed_site_list_enforced(self, grid):
+        records = [_record(t=100.0, answer=_site("AMS"), rtt=10.0, rcode=0)]
+        with pytest.raises(ValueError):
+            bin_probe_records(
+                records, "K", grid, vp_ids=[1], site_codes=["LHR"]
+            )
+
+    def test_site_order_discovery(self, grid):
+        records = [
+            _record(t=100.0, answer=_site("LHR"), rtt=10.0, rcode=0),
+            _record(t=700.0, answer=_site("AMS"), rtt=10.0, rcode=0),
+        ]
+        obs = bin_probe_records(records, "K", grid, vp_ids=[1])
+        assert obs.site_codes == ["LHR", "AMS"]
+        assert obs.site_idx[0, 0] == 0
+        assert obs.site_idx[1, 0] == 1
+
+    def test_multiple_vps(self, grid):
+        records = [
+            _record(vp=1, t=100.0, answer=_site("AMS"), rtt=10.0, rcode=0),
+            _record(vp=2, t=100.0),
+        ]
+        obs = bin_probe_records(records, "K", grid, vp_ids=[1, 2])
+        assert obs.site_idx[0, 0] == 0
+        assert obs.site_idx[0, 1] == RESP_TIMEOUT

@@ -1,0 +1,77 @@
+"""Tests for the section-2.4.1 cleaning pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import CleaningReport, clean_dataset, detect_hijacked
+from repro.datasets import MIN_FIRMWARE
+
+
+class TestCleanScenario:
+    def test_drops_old_firmware(self, dataset):
+        cleaned, report = clean_dataset(dataset)
+        assert (cleaned.vps.firmware >= MIN_FIRMWARE).all()
+        true_old = int((dataset.vps.firmware < MIN_FIRMWARE).sum())
+        assert report.n_old_firmware == true_old
+
+    def test_detects_hijacked_vps(self, dataset):
+        detected = detect_hijacked(dataset)
+        truth = dataset.vps.hijacked
+        if truth.sum() == 0:
+            pytest.skip("no hijacked VPs in this draw")
+        # High recall and precision against ground truth.
+        recall = (detected & truth).sum() / truth.sum()
+        assert recall > 0.8
+        if detected.sum():
+            precision = (detected & truth).sum() / detected.sum()
+            assert precision > 0.8
+
+    def test_cleaning_preserves_nearly_all_vps(self, dataset):
+        # The paper keeps > 96 % of probes after cleaning.
+        _, report = clean_dataset(dataset)
+        assert report.kept_fraction > 0.9
+
+    def test_cleaned_dataset_has_no_flagged_vps(self, dataset):
+        cleaned, report = clean_dataset(dataset)
+        assert len(cleaned.vps) == report.n_kept
+        dropped = set(report.old_firmware_ids) | set(report.hijacked_ids)
+        assert dropped.isdisjoint(int(v) for v in cleaned.vps.ids)
+
+    def test_counts_consistent(self, dataset):
+        _, report = clean_dataset(dataset)
+        assert report.n_kept == (
+            report.n_total - report.n_old_firmware - report.n_hijacked
+        )
+        assert len(report.old_firmware_ids) == report.n_old_firmware
+        assert len(report.hijacked_ids) == report.n_hijacked
+
+
+class TestReport:
+    def test_empty_report(self):
+        report = CleaningReport(0, 0, 0, (), ())
+        assert report.kept_fraction == 0.0
+
+    def test_fraction(self):
+        report = CleaningReport(100, 3, 1, tuple(range(3)), (99,))
+        assert report.kept_fraction == pytest.approx(0.96)
+
+
+class TestHijackHeuristics:
+    def test_slow_bogus_replies_not_flagged(self, dataset):
+        """A VP with unparseable replies at normal RTT (e.g. a broken
+        middlebox far away) must NOT be flagged: the paper requires
+        BOTH the pattern mismatch and the short RTT."""
+        from repro.datasets import RESP_BOGUS
+
+        modified = dataset.select_vps(
+            np.ones(len(dataset.vps), dtype=bool)
+        )
+        letter = sorted(modified.letters)[0]
+        obs = modified.letter(letter)
+        victim = 0
+        for letter_obs in modified.letters.values():
+            letter_obs.site_idx[:, victim] = RESP_BOGUS
+            letter_obs.rtt_ms[:, victim] = 80.0  # slow: not local
+        detected = detect_hijacked(modified)
+        assert not detected[victim]
+        del obs

@@ -1,0 +1,106 @@
+"""Tests for collateral damage (Figs. 14-15) and the §3.2.1 R^2."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    clean_dataset,
+    collateral_figure,
+    collateral_sites,
+    correlation_table,
+    nl_event_minimum,
+    nl_figure,
+    silence_score,
+    sites_vs_resilience,
+)
+from repro.rootdns import LETTERS_SPEC
+
+
+@pytest.fixture(scope="module")
+def cleaned(dataset):
+    ds, _ = clean_dataset(dataset)
+    return ds
+
+
+class TestCollateralSites:
+    def test_d_fra_and_d_syd_flagged(self, cleaned):
+        # Fig. 14: D was not attacked yet its Frankfurt and Sydney
+        # sites dipped with the events.
+        flagged = {c.site for c in collateral_sites(cleaned, "D")}
+        assert "D-FRA" in flagged
+        assert "D-SYD" in flagged
+
+    def test_dips_meet_threshold(self, cleaned):
+        for site in collateral_sites(cleaned, "D"):
+            assert site.dip_fraction >= 0.10
+            assert site.median_vps >= 20
+
+    def test_most_d_sites_unaffected(self, cleaned):
+        obs = cleaned.letter("D")
+        flagged = collateral_sites(cleaned, "D")
+        assert len(flagged) < 0.2 * len(obs.site_codes)
+
+    def test_figure(self, cleaned):
+        fig = collateral_figure(cleaned, "D")
+        assert fig.names == [
+            c.site for c in collateral_sites(cleaned, "D")
+        ]
+
+
+class TestNlCollateral:
+    def test_colocated_nodes_nearly_silent(self, scenario):
+        # Fig. 15: the two co-located .nl nodes show nearly no
+        # queries during both events.
+        for node in ("nl-anycast-1", "nl-anycast-2"):
+            assert nl_event_minimum(scenario.nl, node) < 0.25
+
+    def test_standalone_nodes_keep_serving(self, scenario):
+        for node in ("nl-uni-1", "nl-uni-4"):
+            assert nl_event_minimum(scenario.nl, node) > 0.6
+
+    def test_figure_has_six_nodes(self, scenario):
+        assert len(nl_figure(scenario.nl).series) == 6
+
+    def test_unknown_node_raises(self, scenario):
+        with pytest.raises(KeyError):
+            nl_event_minimum(scenario.nl, "nl-zz")
+
+    def test_silence_score(self, scenario):
+        fig = nl_figure(scenario.nl)
+        colocated = silence_score(fig.get("nl-anycast-1"), scenario.grid)
+        standalone = silence_score(fig.get("nl-uni-1"), scenario.grid)
+        assert colocated > 0.7
+        assert standalone < 0.4
+
+
+class TestCorrelation:
+    @pytest.fixture(scope="class")
+    def fit(self, cleaned):
+        site_counts = {L: s.n_sites for L, s in LETTERS_SPEC.items()}
+        return sites_vs_resilience(cleaned, site_counts)
+
+    def test_positive_relationship(self, fit):
+        # More sites -> better worst responsiveness (section 3.2.1).
+        assert fit.slope > 0
+
+    def test_strong_r_squared(self, fit):
+        # Paper reports R^2 = 0.87; our substrate lands in the same
+        # "strong correlation" regime.
+        assert fit.r_squared > 0.55
+
+    def test_a_excluded_by_default(self, fit):
+        assert "A" not in fit.letters
+
+    def test_table(self, fit):
+        table = correlation_table(fit)
+        assert table.rows[-1][0] == "R^2"
+        assert 0.0 <= table.rows[-1][2] <= 1.0
+
+    def test_needs_enough_letters(self, cleaned):
+        with pytest.raises(ValueError):
+            sites_vs_resilience(cleaned, {"B": 1, "H": 2})
+
+    def test_extremes_match_architecture(self, fit):
+        by_letter = dict(zip(fit.letters, fit.worst))
+        assert by_letter["B"] == min(by_letter.values())
+        assert by_letter["L"] > 0.9

@@ -1,0 +1,56 @@
+"""Tests for the catchment-efficiency analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    catchment_efficiency,
+    efficiency_table,
+    inflation_series,
+)
+
+
+class TestEfficiency:
+    def test_stats_bounds(self, scenario):
+        stats = catchment_efficiency(
+            scenario.atlas, scenario.deployments["K"]
+        )
+        assert 0.0 <= stats.nearest_fraction <= 1.0
+        assert stats.median_inflation_km >= 0.0
+        assert stats.p90_inflation_km >= stats.median_inflation_km
+
+    def test_geographic_routing_is_mostly_efficient(self, scenario):
+        # Quiet-time anycast routes most VPs near their closest site
+        # (the headline finding of the §4 efficiency literature).
+        quiet = np.arange(100, 140)  # hours ~16-23, between events
+        stats = catchment_efficiency(
+            scenario.atlas, scenario.deployments["K"], bins=quiet
+        )
+        assert stats.nearest_fraction > 0.5
+
+    def test_single_site_letter_has_zero_inflation(self, scenario):
+        stats = catchment_efficiency(
+            scenario.atlas, scenario.deployments["B"]
+        )
+        assert stats.median_inflation_km == pytest.approx(0.0)
+        assert stats.nearest_fraction == 1.0
+
+    def test_inflation_rises_during_events(self, scenario):
+        # Withdrawals push catchments to farther sites.
+        series = inflation_series(
+            scenario.atlas, scenario.deployments["E"]
+        )
+        mask = scenario.event_mask()
+        quiet = float(np.nanmedian(series.values[~mask]))
+        during = float(np.nanmax(series.values[mask]))
+        assert during > quiet
+
+    def test_table_covers_letters(self, scenario):
+        table = efficiency_table(scenario.atlas, scenario.deployments)
+        assert len(table.rows) == len(scenario.letters)
+
+    def test_more_sites_shorter_distances(self, scenario):
+        table = efficiency_table(scenario.atlas, scenario.deployments)
+        med = {row[0]: row[2] for row in table.rows}
+        # L (113 sites) serves from closer than B (one site in LA).
+        assert med["L"] < med["B"]

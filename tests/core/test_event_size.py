@@ -1,0 +1,174 @@
+"""Tests for Table 3: event-size estimation from RSSAC-002 reports."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    estimate_bounds,
+    event_size_table,
+    letter_event_size,
+    robust_baseline,
+)
+from repro.rootdns import ATTACKED_LETTERS, RSSAC_REPORTING_LETTERS
+from repro.rssac import DailyReport
+
+
+def _report(letter, date, queries, uniques=1e6, responses=None, hist=None):
+    return DailyReport(
+        letter=letter, date=date, queries=queries,
+        responses=responses if responses is not None else queries,
+        unique_sources=uniques,
+        query_size_hist=hist or {32: queries},
+        response_size_hist={608: queries},
+    )
+
+
+def _reports(letter="A", base=3.456e9, attack=49e9):
+    """7 quiet days + 2 event days with a distinctive attack bin."""
+    days = [
+        _report(letter, f"2015-11-2{d}", base * (1 + 0.01 * d),
+                hist={32: base})
+        for d in range(3, 10)
+    ]
+    days.append(
+        _report(letter, "2015-11-30", base + attack, uniques=1.8e9,
+                hist={32: base, 48: attack})
+    )
+    days.append(
+        _report(letter, "2015-12-01", base + attack * 3600 / 9600,
+                uniques=1.3e9,
+                hist={32: base, 16: attack * 3600 / 9600})
+    )
+    return tuple(days)
+
+
+class TestRobustBaseline:
+    def test_mean_of_quiet_days(self):
+        reports = [_report("A", f"d{i}", 100.0) for i in range(5)]
+        queries, _ = robust_baseline(reports)
+        assert queries == pytest.approx(100.0)
+
+    def test_outlier_dropped(self):
+        # A-Root's independent Nov 28 event is dropped from baselines.
+        reports = [_report("A", f"d{i}", 100.0) for i in range(6)]
+        reports.append(_report("A", "2015-11-28", 5000.0))
+        queries, _ = robust_baseline(reports)
+        assert queries == pytest.approx(100.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            robust_baseline([])
+
+
+class TestLetterEventSize:
+    def test_delta_rate_uses_event_duration(self):
+        size = letter_event_size(_reports(), "2015-11-30", attacked=True)
+        # 49e9 extra queries over 160 minutes ~ 5.1 Mq/s.
+        assert size.delta_queries_mqps == pytest.approx(5.1, rel=0.03)
+
+    def test_second_event_uses_60_minutes(self):
+        size = letter_event_size(_reports(), "2015-12-01", attacked=True)
+        assert size.delta_queries_mqps == pytest.approx(5.1, rel=0.03)
+
+    def test_bitrate_in_paper_ballpark(self):
+        size = letter_event_size(_reports(), "2015-11-30", attacked=True)
+        # Paper: 5.12 Mq/s of ~84 B queries = 3.44 Gb/s.
+        assert 2.8 < size.delta_queries_gbps < 4.5
+
+    def test_unique_ratio(self):
+        size = letter_event_size(_reports(), "2015-11-30", attacked=True)
+        assert size.unique_ratio == pytest.approx(1.8e9 / 1e6, rel=0.01)
+
+    def test_unknown_date_rejected(self):
+        with pytest.raises(ValueError):
+            letter_event_size(_reports(), "2015-06-25", attacked=True)
+
+    def test_missing_event_day_rejected(self):
+        with pytest.raises(ValueError):
+            letter_event_size(_reports()[:7], "2015-11-30", attacked=True)
+
+
+class TestBounds:
+    def test_scaled_and_upper(self):
+        sizes = [
+            letter_event_size(_reports("A"), "2015-11-30", True),
+            letter_event_size(
+                _reports("K", attack=10e9), "2015-11-30", True
+            ),
+        ]
+        bounds = estimate_bounds(sizes, "2015-11-30", n_attacked_letters=10)
+        assert bounds.lower_mqps == pytest.approx(
+            sizes[0].delta_queries_mqps + sizes[1].delta_queries_mqps
+        )
+        assert bounds.scaled_mqps == pytest.approx(bounds.lower_mqps * 5)
+        assert bounds.upper_mqps == pytest.approx(
+            sizes[0].delta_queries_mqps * 10
+        )
+
+    def test_unattacked_excluded(self):
+        sizes = [
+            letter_event_size(_reports("A"), "2015-11-30", True),
+            letter_event_size(_reports("L"), "2015-11-30", False),
+        ]
+        bounds = estimate_bounds(sizes, "2015-11-30", 10)
+        assert bounds.lower_mqps == pytest.approx(
+            sizes[0].delta_queries_mqps
+        )
+
+    def test_no_attacked_rejected(self):
+        sizes = [letter_event_size(_reports("L"), "2015-11-30", False)]
+        with pytest.raises(ValueError):
+            estimate_bounds(sizes, "2015-11-30", 10)
+
+
+class TestScenarioTable3:
+    @pytest.fixture(scope="class")
+    def table(self, scenario):
+        rssac = {
+            letter: scenario.rssac[letter]
+            for letter in RSSAC_REPORTING_LETTERS
+        }
+        return event_size_table(
+            rssac, ATTACKED_LETTERS, "2015-11-30",
+            n_attacked_letters=len(ATTACKED_LETTERS),
+        )
+
+    def test_shape(self, table):
+        # 5 reporting letters + lower/scaled/upper rows.
+        assert len(table.rows) == 8
+        assert table.rows[-3][0] == "lower"
+        assert table.rows[-1][0] == "upper"
+
+    def test_a_root_measures_most(self, table):
+        deltas = {
+            row[0]: row[1] for row in table.rows[:5]
+        }
+        assert deltas["A"] > deltas["J"] > deltas["H"]
+        assert deltas["A"] > 3.0  # paper: 5.12 Mq/s
+
+    def test_l_marked_unattacked_and_small(self, table):
+        row = table.row_for("L*")
+        assert row[1] < 0.5
+
+    def test_bounds_ordering(self, table):
+        lower = table.row_for("lower")[1]
+        scaled = table.row_for("scaled")[1]
+        upper = table.row_for("upper")[1]
+        assert lower < scaled < upper
+        # Paper: lower 8.3, scaled 20.8, upper 51.2 Mq/s.
+        assert 4 < lower < 12
+        assert 25 < upper < 60
+
+    def test_upper_bound_attack_is_tens_of_gbps(self, table):
+        # Section 3.1: ~35-40 Gb/s aggregate query traffic.
+        upper_gbps = table.row_for("upper")[2]
+        assert 20 < upper_gbps < 45
+
+    def test_unique_ip_surge(self, table):
+        # Table 3: 6.5x-340x more unique addresses during the events.
+        ratios = [
+            row[4] for row in table.rows[:5]
+            if isinstance(row[4], float) and np.isfinite(row[4])
+        ]
+        assert max(ratios) > 50
+        assert min(ratios) > 2

@@ -1,0 +1,168 @@
+"""Tests for the §2.2 withdraw-vs-absorb policy model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    AnycastModel,
+    LinkGroup,
+    best_withdrawal,
+    classify_case,
+    default_assignment,
+    expected_happiness,
+    figure2_model,
+    happiness,
+    optimal_assignment,
+    withdrawal_assignment,
+)
+
+
+class TestModelValidation:
+    def test_group_validation(self):
+        with pytest.raises(ValueError):
+            LinkGroup("g", attack=-1, clients=0, site_options=("s",))
+        with pytest.raises(ValueError):
+            LinkGroup("g", attack=0, clients=-1, site_options=("s",))
+        with pytest.raises(ValueError):
+            LinkGroup("g", attack=0, clients=0, site_options=())
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            AnycastModel(capacities={"s": 0.0})
+        with pytest.raises(ValueError):
+            AnycastModel(
+                capacities={"s": 1.0},
+                groups=(LinkGroup("g", 0, 1, ("zz",)),),
+            )
+
+    def test_happiness_requires_full_assignment(self):
+        model = figure2_model(0.1, 0.1)
+        with pytest.raises(ValueError):
+            happiness(model, {})
+
+
+class TestPaperCases:
+    """The five cases of section 2.2, with their optimal H."""
+
+    def test_case1_no_harm(self):
+        assert classify_case(0.4, 0.4) == 1
+        model = figure2_model(0.4, 0.4)
+        assert happiness(model, default_assignment(model)) == 4
+
+    def test_case2_withdraw_helps(self):
+        # A0 + A1 > s1 but each fits a small site: withdrawing the
+        # route that pins ISP1 to s1 serves everyone ("less is more").
+        assert classify_case(0.7, 0.7) == 2
+        model = figure2_model(0.7, 0.7)
+        assert happiness(model, default_assignment(model)) == 2
+        _, best = optimal_assignment(model)
+        assert best == 4
+
+    def test_case3_big_site_takes_all(self):
+        assert classify_case(4.0, 4.0) == 3
+        model = figure2_model(4.0, 4.0)
+        assignment, best = optimal_assignment(model)
+        assert best == 4
+        assert assignment["ISP0"] == "S3"
+        assert assignment["ISP1"] == "S3"
+
+    def test_case4_targeted_reroute(self):
+        assert classify_case(6.0, 6.0) == 4
+        model = figure2_model(6.0, 6.0)
+        _, best = optimal_assignment(model)
+        assert best == 3  # c0 is sacrificed with A0 on s1
+
+    def test_case5_absorb_and_contain(self):
+        assert classify_case(11.0, 11.0) == 5
+        model = figure2_model(11.0, 11.0)
+        _, best = optimal_assignment(model)
+        assert best == 2  # only c2 and c3 can be protected
+
+    @pytest.mark.parametrize("a", [0.2, 0.7, 4.0, 6.0, 11.0])
+    def test_optimal_matches_paper_h(self, a):
+        case = classify_case(a, a)
+        model = figure2_model(a, a)
+        _, best = optimal_assignment(model)
+        assert best == expected_happiness(case)
+
+    def test_case_boundaries(self):
+        assert classify_case(0.5, 0.5) == 1
+        assert classify_case(1.0, 1.0) == 2
+        assert classify_case(5.0, 5.0) == 3
+        assert classify_case(10.0, 10.0) == 4  # sum exceeds S3, each fits
+        assert classify_case(10.1, 0.0) == 5
+
+
+class TestWithdrawal:
+    def test_withdrawal_moves_groups(self):
+        model = figure2_model(0.7, 0.7)
+        assignment = withdrawal_assignment(model, {"s1"})
+        assert assignment["ISP0"] == "s2"
+        assert assignment["ISP1"] == "s2"
+
+    def test_group_with_no_alternative_stays(self):
+        model = figure2_model(0.7, 0.7)
+        assignment = withdrawal_assignment(model, {"s2"})
+        assert assignment["c2"] == "s2"  # nowhere else to go
+
+    def test_best_withdrawal_case2_not_better_than_reroute(self):
+        # Pure withdrawal of s1 dumps BOTH attackers on s2 (H=3: c0
+        # and c1 lost... actually c0/c1 travel with their ISPs).
+        model = figure2_model(0.7, 0.7)
+        _, h = best_withdrawal(model)
+        _, optimal = optimal_assignment(model)
+        assert h <= optimal
+
+    def test_best_withdrawal_prefers_no_action_when_equal(self):
+        model = figure2_model(0.1, 0.1)
+        withdrawn, h = best_withdrawal(model)
+        assert withdrawn == set()
+        assert h == 4
+
+
+class TestProperties:
+    @given(
+        a0=st.floats(min_value=0, max_value=20),
+        a1=st.floats(min_value=0, max_value=20),
+    )
+    def test_optimal_at_least_default(self, a0, a1):
+        model = figure2_model(a0, a1)
+        default_h = happiness(model, default_assignment(model))
+        _, best = optimal_assignment(model)
+        assert best >= default_h
+
+    @given(
+        a0=st.floats(min_value=0, max_value=20),
+        a1=st.floats(min_value=0, max_value=20),
+    )
+    def test_happiness_bounded(self, a0, a1):
+        model = figure2_model(a0, a1)
+        _, best = optimal_assignment(model)
+        assert 0 <= best <= model.total_clients
+
+    @given(
+        a0=st.floats(min_value=0, max_value=20),
+        a1=st.floats(min_value=0, max_value=20),
+    )
+    def test_case_h_is_achievable(self, a0, a1):
+        case = classify_case(a0, a1)
+        model = figure2_model(a0, a1)
+        _, best = optimal_assignment(model)
+        assert best >= expected_happiness(case)
+
+    @given(a0=st.floats(min_value=0, max_value=20))
+    def test_monotone_in_attack(self, a0):
+        weaker = optimal_assignment(figure2_model(a0, 0.0))[1]
+        stronger = optimal_assignment(figure2_model(a0 + 5.0, 0.0))[1]
+        assert stronger <= weaker
+
+    @given(
+        a0=st.floats(min_value=0, max_value=20),
+        a1=st.floats(min_value=0, max_value=20),
+    )
+    def test_withdrawal_never_beats_full_control(self, a0, a1):
+        model = figure2_model(a0, a1)
+        _, withdrawal_h = best_withdrawal(model)
+        _, optimal_h = optimal_assignment(model)
+        assert withdrawal_h <= optimal_h

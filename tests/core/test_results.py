@@ -1,0 +1,97 @@
+"""Tests for the Series/Table result containers."""
+
+import numpy as np
+import pytest
+
+from repro.core import Series, SeriesBundle, TableResult
+
+
+def _series(name="x", values=(1.0, 2.0, 3.0, 4.0)):
+    values = np.asarray(values, dtype=float)
+    hours = np.arange(len(values), dtype=float) + 0.5
+    return Series(name=name, hours=hours, values=values)
+
+
+class TestSeries:
+    def test_stats(self):
+        s = _series()
+        assert s.min() == 1.0
+        assert s.max() == 4.0
+        assert s.median() == 2.5
+
+    def test_axis_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series("x", np.arange(3, dtype=float), np.arange(4, dtype=float))
+
+    def test_at_hour_picks_nearest(self):
+        s = _series()
+        assert s.at_hour(0.6) == 1.0
+        assert s.at_hour(3.4) == 4.0
+
+    def test_at_hour_empty_rejected(self):
+        empty = Series("x", np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            empty.at_hour(1.0)
+
+    def test_window(self):
+        s = _series()
+        w = s.window(1.0, 3.0)
+        assert w.values.tolist() == [2.0, 3.0]
+
+    def test_sparkline_shape(self):
+        s = _series(values=np.linspace(0, 1, 200))
+        line = s.sparkline(width=40)
+        assert len(line) == 40
+        assert line[0] == " "
+        assert line[-1] == "@"
+
+    def test_sparkline_flat(self):
+        s = _series(values=[5.0, 5.0, 5.0])
+        assert len(s.sparkline()) == 3
+
+    def test_nan_handling(self):
+        s = _series(values=[1.0, np.nan, 3.0])
+        assert s.min() == 1.0
+        assert s.max() == 3.0
+
+
+class TestSeriesBundle:
+    def test_get_and_names(self):
+        bundle = SeriesBundle("t", (_series("a"), _series("b")))
+        assert bundle.names == ["a", "b"]
+        assert bundle.get("b").name == "b"
+        with pytest.raises(KeyError):
+            bundle.get("c")
+
+    def test_render_contains_all(self):
+        bundle = SeriesBundle("My figure", (_series("alpha"),))
+        rendered = bundle.render()
+        assert "My figure" in rendered
+        assert "alpha" in rendered
+
+
+class TestTableResult:
+    def test_row_width_validated(self):
+        with pytest.raises(ValueError):
+            TableResult("t", ("a", "b"), rows=((1,),))
+
+    def test_column_and_row_lookup(self):
+        table = TableResult(
+            "t", ("letter", "value"), rows=(("A", 1), ("B", 2))
+        )
+        assert table.column("value") == [1, 2]
+        assert table.row_for("B") == ("B", 2)
+        with pytest.raises(KeyError):
+            table.column("zzz")
+        with pytest.raises(KeyError):
+            table.row_for("Z")
+
+    def test_render_aligned(self):
+        table = TableResult(
+            "Title", ("letter", "v"), rows=(("A", 1.234), ("BB", 22),)
+        )
+        rendered = table.render()
+        assert "Title" in rendered
+        assert "1.23" in rendered
+        lines = rendered.splitlines()
+        assert len(lines) == 5

@@ -1,0 +1,85 @@
+"""Tests for dataset persistence (npz bundles and NDJSON records)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    ProbeRecord,
+    load_dataset,
+    read_probe_records,
+    save_dataset,
+    write_probe_records,
+)
+
+
+class TestNpzRoundTrip:
+    def test_full_roundtrip(self, dataset, tmp_path):
+        path = tmp_path / "atlas.npz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.grid == dataset.grid
+        assert (loaded.vps.ids == dataset.vps.ids).all()
+        assert (loaded.vps.firmware == dataset.vps.firmware).all()
+        assert sorted(loaded.letters) == sorted(dataset.letters)
+        for letter in dataset.letters:
+            a, b = dataset.letter(letter), loaded.letter(letter)
+            assert a.site_codes == b.site_codes
+            assert (a.site_idx == b.site_idx).all()
+            assert np.array_equal(a.rtt_ms, b.rtt_ms, equal_nan=True)
+            assert (a.server == b.server).all()
+
+    def test_rejects_future_format(self, dataset, tmp_path):
+        path = tmp_path / "atlas.npz"
+        save_dataset(dataset, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["format_version"] = np.array([99])
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError):
+            load_dataset(path)
+
+
+class TestProbeRecords:
+    def _records(self):
+        return [
+            ProbeRecord(
+                vp_id=1, letter="K", timestamp=100.0,
+                answer="ns2.fra.k.ripe.net", rtt_ms=25.0, rcode=0,
+                firmware=4700,
+            ),
+            ProbeRecord(
+                vp_id=2, letter="K", timestamp=101.0,
+                answer=None, rtt_ms=None, rcode=None, firmware=4700,
+            ),
+            ProbeRecord(
+                vp_id=3, letter="K", timestamp=102.0,
+                answer=None, rtt_ms=None, rcode=2, firmware=4500,
+            ),
+        ]
+
+    def test_ndjson_roundtrip(self, tmp_path):
+        path = tmp_path / "probes.ndjson"
+        count = write_probe_records(self._records(), path)
+        assert count == 3
+        loaded = list(read_probe_records(path))
+        assert loaded == self._records()
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "probes.ndjson"
+        write_probe_records(self._records()[:1], path)
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        assert len(list(read_probe_records(path))) == 1
+
+    def test_invalid_json_reports_line(self, tmp_path):
+        path = tmp_path / "probes.ndjson"
+        path.write_text('{"bad json\n')
+        with pytest.raises(ValueError, match=":1:"):
+            list(read_probe_records(path))
+
+    def test_reply_requires_rtt(self):
+        with pytest.raises(ValueError):
+            ProbeRecord(
+                vp_id=1, letter="K", timestamp=0.0,
+                answer="x", rtt_ms=None, rcode=0, firmware=4700,
+            )

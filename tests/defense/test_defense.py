@@ -1,0 +1,191 @@
+"""Tests for the automated-defense controllers and evaluation."""
+
+import numpy as np
+import pytest
+
+from repro import ScenarioConfig, simulate
+from repro.defense import (
+    Action,
+    ActionKind,
+    GreedyShedController,
+    LetterObservation,
+    NullController,
+    OracleController,
+    SiteObservation,
+    compare_controllers,
+    evaluate_controller,
+    served_fractions,
+)
+
+
+def _obs(code, capacity=100.0, accepted=50.0, dropped=0.0,
+         announced=True, partial=False):
+    return SiteObservation(
+        code=code, capacity_qps=capacity, accepted_qps=accepted,
+        dropped_qps=dropped, announced=announced, partial=partial,
+    )
+
+
+def _letter_obs(*sites):
+    return LetterObservation(letter="K", bin_index=0, sites=sites)
+
+
+class TestObservation:
+    def test_derived_quantities(self):
+        obs = _obs("AMS", capacity=100, accepted=80, dropped=120)
+        assert obs.offered_qps == 200
+        assert obs.utilisation == pytest.approx(2.0)
+        assert obs.overloaded
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _obs("AMS", capacity=0)
+        with pytest.raises(ValueError):
+            _obs("AMS", accepted=-1)
+
+    def test_letter_aggregates(self):
+        letter = _letter_obs(
+            _obs("AMS", capacity=100, accepted=40),
+            _obs("LHR", capacity=100, accepted=90, dropped=50),
+            _obs("SAN", announced=False, accepted=0),
+        )
+        assert letter.total_accepted_qps == 130
+        assert letter.announced_codes == ("AMS", "LHR")
+        # Headroom: AMS 60, LHR 0 (over capacity).
+        assert letter.headroom_qps == pytest.approx(60.0)
+        assert letter.site("AMS").code == "AMS"
+        with pytest.raises(KeyError):
+            letter.site("ZZZ")
+
+
+class TestNullController:
+    def test_never_acts(self):
+        controller = NullController()
+        letter = _letter_obs(
+            _obs("AMS", accepted=90, dropped=1000)
+        )
+        assert controller.decide(letter) == []
+
+
+class TestGreedyShed:
+    def test_withdraws_when_headroom_exists(self):
+        controller = GreedyShedController(safety=1.0)
+        letter = _letter_obs(
+            _obs("LHR", capacity=100, accepted=100, dropped=200),
+            _obs("AMS", capacity=1000, accepted=100),
+        )
+        actions = controller.decide(letter)
+        assert Action(ActionKind.WITHDRAW, "LHR") in actions
+
+    def test_keeps_last_site_announced(self):
+        controller = GreedyShedController(min_announced=1)
+        letter = _letter_obs(
+            _obs("LHR", capacity=100, accepted=100, dropped=500),
+        )
+        assert controller.decide(letter) == []
+
+    def test_no_action_without_headroom(self):
+        controller = GreedyShedController(safety=1.5)
+        letter = _letter_obs(
+            _obs("LHR", capacity=100, accepted=100, dropped=500),
+            _obs("AMS", capacity=120, accepted=110),
+        )
+        assert controller.decide(letter) == []
+
+    def test_reannounce_after_calm(self):
+        controller = GreedyShedController(calm_bins=2)
+        withdrawn = _letter_obs(
+            _obs("LHR", announced=False, accepted=0),
+            _obs("AMS", capacity=1000, accepted=50),
+        )
+        assert controller.decide(withdrawn) == []  # 1 quiet bin
+        actions = controller.decide(withdrawn)      # 2 quiet bins
+        assert Action(ActionKind.ANNOUNCE, "LHR") in actions
+
+    def test_no_reannounce_while_overloaded(self):
+        controller = GreedyShedController(calm_bins=1)
+        letter = _letter_obs(
+            _obs("LHR", announced=False, accepted=0),
+            _obs("AMS", capacity=100, accepted=90, dropped=100),
+        )
+        actions = controller.decide(letter)
+        assert Action(ActionKind.ANNOUNCE, "LHR") not in actions
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GreedyShedController(safety=0.5)
+        with pytest.raises(ValueError):
+            GreedyShedController(min_announced=0)
+
+
+class TestOracle:
+    def test_withdraws_hopeless_small_site(self):
+        controller = OracleController()
+        controller.set_truth({"LHR": 500.0, "AMS": 200.0})
+        letter = _letter_obs(
+            _obs("LHR", capacity=100, accepted=100, dropped=400),
+            _obs("AMS", capacity=1000, accepted=200),
+        )
+        actions = controller.decide(letter)
+        assert Action(ActionKind.WITHDRAW, "LHR") in actions
+
+    def test_absorbs_when_withdrawal_cannot_help(self):
+        controller = OracleController()
+        controller.set_truth({"LHR": 5000.0, "AMS": 5000.0})
+        letter = _letter_obs(
+            _obs("LHR", capacity=100, accepted=100, dropped=4900),
+            _obs("AMS", capacity=100, accepted=100, dropped=4900),
+        )
+        # Moving LHR's 5000 onto AMS serves no more traffic.
+        assert controller.decide(letter) == []
+
+    def test_reannounces_after_attack(self):
+        controller = OracleController()
+        controller.set_truth({"LHR": 10.0, "AMS": 10.0})
+        letter = _letter_obs(
+            _obs("LHR", announced=False, accepted=0),
+            _obs("AMS", capacity=1000, accepted=10),
+        )
+        actions = controller.decide(letter)
+        assert Action(ActionKind.ANNOUNCE, "LHR") in actions
+
+
+class TestClosedLoop:
+    @pytest.fixture(scope="class")
+    def base_config(self):
+        return ScenarioConfig(
+            seed=13, n_stubs=200, n_vps=200, letters=("K",),
+            include_nl=False,
+        )
+
+    def test_served_fractions_bounds(self, base_config):
+        result = simulate(base_config)
+        overall, during, worst = served_fractions(result, "K")
+        assert 0 <= worst <= during <= 1.0 + 1e-9
+        assert 0 <= overall <= 1.0 + 1e-9
+        assert during < overall  # events hurt
+
+    def test_null_controller_takes_no_routing_action(self, base_config):
+        outcome = evaluate_controller(
+            base_config, "K", "absorb", NullController
+        )
+        assert outcome.routing_actions == 0
+
+    def test_static_policies_act(self, base_config):
+        outcome = evaluate_controller(base_config, "K", "static", None)
+        assert outcome.routing_actions > 0
+
+    def test_comparison_table(self, base_config):
+        table = compare_controllers(
+            base_config,
+            "K",
+            {
+                "absorb": NullController,
+                "oracle": OracleController,
+            },
+        )
+        assert len(table.rows) == 2
+        oracle = table.row_for("oracle")
+        absorb = table.row_for("absorb")
+        # The oracle never does worse than doing nothing overall.
+        assert oracle[1] >= absorb[1] - 0.02

@@ -1,0 +1,73 @@
+"""Tests for the §5 capacity-planning analysis."""
+
+import pytest
+
+from repro.defense import (
+    aggregate_vs_placed,
+    provisioning_plan,
+    provisioning_table,
+)
+
+
+class TestProvisioningPlan:
+    @pytest.fixture(scope="class")
+    def plan(self, scenario):
+        return provisioning_plan(
+            scenario.deployments["K"], scenario.truth["K"]
+        )
+
+    def test_hot_sites_need_servers(self, plan):
+        deficient = {p.site for p in plan.deficient_sites}
+        # The attack's hot catchments need upgrades.
+        assert "K-AMS" in deficient or "K-NRT" in deficient
+        assert plan.total_extra_servers > 0
+
+    def test_sorted_by_deficit(self, plan):
+        deficits = [p.deficit_qps for p in plan.sites]
+        assert deficits == sorted(deficits, reverse=True)
+
+    def test_unattacked_letter_needs_nothing(self, scenario):
+        plan = provisioning_plan(
+            scenario.deployments["M"], scenario.truth["M"]
+        )
+        assert plan.total_extra_servers == 0
+
+    def test_target_utilisation_scales_requirement(self, scenario):
+        loose = provisioning_plan(
+            scenario.deployments["K"], scenario.truth["K"],
+            target_utilisation=1.0,
+        )
+        tight = provisioning_plan(
+            scenario.deployments["K"], scenario.truth["K"],
+            target_utilisation=0.5,
+        )
+        assert tight.total_extra_servers > loose.total_extra_servers
+
+    def test_validation(self, scenario):
+        with pytest.raises(ValueError):
+            provisioning_plan(
+                scenario.deployments["K"], scenario.truth["K"],
+                target_utilisation=0.0,
+            )
+
+    def test_table_renders(self, plan):
+        table = provisioning_table(plan)
+        assert table.rows[-1][0] == "TOTAL"
+        assert "Provisioning plan" in table.render()
+
+
+class TestAggregateVsPlaced:
+    def test_papers_point_in_numbers(self, scenario):
+        # Section 5: aggregate capacity can be ample while individual
+        # sites drown under unevenly placed attackers.
+        aggregate, worst = aggregate_vs_placed(
+            scenario.deployments["K"], scenario.truth["K"]
+        )
+        assert worst > 1.0       # some site was overloaded
+        assert worst > aggregate # far worse than the average suggests
+
+    def test_quiet_letter(self, scenario):
+        aggregate, worst = aggregate_vs_placed(
+            scenario.deployments["M"], scenario.truth["M"]
+        )
+        assert worst < 1.0

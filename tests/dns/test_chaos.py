@@ -1,0 +1,100 @@
+"""Tests for per-letter CHAOS identity formatting and parsing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dns import (
+    LETTERS,
+    Message,
+    ServerIdentity,
+    format_identity,
+    identity_from_reply,
+    make_chaos_query,
+    make_chaos_reply,
+    matches_any_letter,
+    parse_identity,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("letter", LETTERS)
+    def test_format_parse_roundtrip(self, letter):
+        text = format_identity(letter, "FRA", 2)
+        identity = parse_identity(letter, text)
+        assert identity == ServerIdentity(letter=letter, site="FRA", server=2)
+
+    @pytest.mark.parametrize("letter", LETTERS)
+    def test_identity_unique_to_letter(self, letter):
+        text = format_identity(letter, "AMS", 1)
+        assert matches_any_letter(text) == letter
+
+    @given(
+        letter=st.sampled_from(LETTERS),
+        site=st.sampled_from(["AMS", "LHR", "NRT", "IAD", "SYD"]),
+        server=st.integers(min_value=1, max_value=40),
+    )
+    def test_roundtrip_property(self, letter, site, server):
+        identity = parse_identity(letter, format_identity(letter, site, server))
+        assert identity is not None
+        assert identity.site == site
+        assert identity.server == server
+
+
+class TestLabels:
+    def test_site_label_matches_paper_format(self):
+        identity = ServerIdentity("K", "FRA", 2)
+        assert identity.site_label == "K-FRA"
+
+    def test_server_label_matches_paper_format(self):
+        # Figures 12-13 use labels like K-FRA-S2.
+        identity = ServerIdentity("K", "FRA", 2)
+        assert identity.server_label == "K-FRA-S2"
+
+    def test_rejects_unknown_letter(self):
+        with pytest.raises(ValueError):
+            ServerIdentity("Z", "FRA", 1)
+
+    def test_rejects_zero_server(self):
+        with pytest.raises(ValueError):
+            ServerIdentity("K", "FRA", 0)
+
+
+class TestParsing:
+    def test_mismatched_reply_returns_none(self):
+        # A hijacker's reply does not match K's pattern (section 2.4.1).
+        assert parse_identity("K", "totally-bogus-reply") is None
+
+    def test_wrong_letter_pattern_returns_none(self):
+        text = format_identity("E", "AMS", 1)
+        assert parse_identity("K", text) is None
+
+    def test_unknown_letter_raises(self):
+        with pytest.raises(ValueError):
+            parse_identity("Z", "x")
+        with pytest.raises(ValueError):
+            format_identity("Z", "AMS", 1)
+
+    def test_whitespace_tolerated(self):
+        text = " " + format_identity("K", "AMS", 3) + " "
+        assert parse_identity("K", text) is not None
+
+
+class TestWireLevel:
+    def test_query_reply_cycle(self):
+        query = make_chaos_query(msg_id=55)
+        reply = make_chaos_reply(query, "E", "AMS", 4)
+        decoded = Message.decode(reply.encode())
+        identity = identity_from_reply("E", decoded)
+        assert identity is not None
+        assert identity.site_label == "E-AMS"
+        assert identity.server == 4
+
+    def test_reply_with_wrong_pattern_yields_none(self):
+        query = make_chaos_query(msg_id=55)
+        reply = make_chaos_reply(query, "E", "AMS", 4)
+        assert identity_from_reply("K", Message.decode(reply.encode())) is None
+
+    def test_query_shape(self):
+        query = make_chaos_query(msg_id=1)
+        assert query.questions[0].qname == "hostname.bind."

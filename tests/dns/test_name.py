@@ -1,0 +1,105 @@
+"""Tests for DNS name encoding, decoding, and compression handling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dns import NameError_, decode_name, encode_name, normalize_name
+from repro.dns.name import split_labels
+
+_label = st.text(
+    alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789-"),
+    min_size=1,
+    max_size=20,
+)
+_names = st.lists(_label, min_size=0, max_size=6).map(
+    lambda labels: ".".join(labels) + "." if labels else "."
+)
+
+
+class TestEncode:
+    def test_root_name(self):
+        assert encode_name(".") == b"\x00"
+        assert encode_name("") == b"\x00"
+
+    def test_simple_name(self):
+        assert encode_name("www.example.com.") == (
+            b"\x03www\x07example\x03com\x00"
+        )
+
+    def test_trailing_dot_optional(self):
+        assert encode_name("example.com") == encode_name("example.com.")
+
+    def test_rejects_empty_label(self):
+        with pytest.raises(NameError_):
+            encode_name("a..b.")
+
+    def test_rejects_oversized_label(self):
+        with pytest.raises(NameError_):
+            encode_name("a" * 64 + ".com.")
+
+    def test_rejects_oversized_name(self):
+        with pytest.raises(NameError_):
+            encode_name(".".join(["a" * 60] * 5) + ".")
+
+
+class TestDecode:
+    def test_simple_roundtrip(self):
+        wire = encode_name("www.336901.com.")
+        name, offset = decode_name(wire, 0)
+        assert name == "www.336901.com."
+        assert offset == len(wire)
+
+    def test_compression_pointer(self):
+        # "example.com." at 0, then "www" + pointer to offset 0.
+        base = encode_name("example.com.")
+        compressed = base + b"\x03www" + bytes([0xC0, 0x00])
+        name, offset = decode_name(compressed, len(base))
+        assert name == "www.example.com."
+        assert offset == len(compressed)
+
+    def test_pointer_loop_rejected(self):
+        # Offset 0 points at itself.
+        data = bytes([0xC0, 0x00])
+        with pytest.raises(NameError_):
+            decode_name(data, 0)
+
+    def test_forward_pointer_rejected(self):
+        data = bytes([0xC0, 0x05, 0, 0, 0, 0])
+        with pytest.raises(NameError_):
+            decode_name(data, 0)
+
+    def test_truncated_label_rejected(self):
+        with pytest.raises(NameError_):
+            decode_name(b"\x05abc", 0)
+
+    def test_truncated_pointer_rejected(self):
+        with pytest.raises(NameError_):
+            decode_name(b"\xc0", 0)
+
+    def test_missing_terminator_rejected(self):
+        with pytest.raises(NameError_):
+            decode_name(b"\x03www", 0)
+
+    def test_reserved_label_type_rejected(self):
+        with pytest.raises(NameError_):
+            decode_name(bytes([0x40, 0x00]), 0)
+
+    @given(name=_names)
+    def test_roundtrip_property(self, name):
+        wire = encode_name(name)
+        decoded, offset = decode_name(wire, 0)
+        assert decoded == name
+        assert offset == len(wire)
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert normalize_name("WWW.Example.COM") == "www.example.com."
+
+    def test_root(self):
+        assert normalize_name(".") == "."
+
+    def test_split_labels_root(self):
+        assert split_labels(".") == []
+        assert split_labels("") == []

@@ -1,0 +1,96 @@
+"""Tests for anycast announcement state and change logging."""
+
+import pytest
+
+from repro.netsim import (
+    ASGraph,
+    AnycastPrefix,
+    AsNode,
+    Origin,
+    Relationship,
+)
+from repro.util import Location
+
+
+def _node(asn):
+    return AsNode(asn=asn, location=Location(0, 0))
+
+
+@pytest.fixture
+def prefix():
+    graph = ASGraph()
+    for asn in (1, 2, 3, 4, 5):
+        graph.add_as(_node(asn))
+    graph.add_link(1, 3, Relationship.PROVIDER)
+    graph.add_link(2, 4, Relationship.PROVIDER)
+    graph.add_link(3, 4, Relationship.PEER)
+    graph.add_link(5, 3, Relationship.PROVIDER)
+    return AnycastPrefix(
+        graph, [Origin(site="A", asn=1), Origin(site="B", asn=2)]
+    )
+
+
+class TestState:
+    def test_initially_all_announced(self, prefix):
+        assert prefix.announced_sites() == {"A", "B"}
+        assert prefix.is_announced("A")
+
+    def test_withdraw_changes_catchment(self, prefix):
+        assert prefix.catchment_of(5) == "A"
+        assert prefix.withdraw("A", timestamp=100.0)
+        assert prefix.catchment_of(5) == "B"
+        assert prefix.announced_sites() == {"B"}
+
+    def test_withdraw_idempotent(self, prefix):
+        assert prefix.withdraw("A", timestamp=100.0)
+        assert not prefix.withdraw("A", timestamp=101.0)
+        assert len(prefix.change_log()) == 1
+
+    def test_reannounce_restores(self, prefix):
+        before = prefix.catchment_of(5)
+        prefix.withdraw("A", timestamp=100.0)
+        prefix.announce("A", timestamp=200.0)
+        assert prefix.catchment_of(5) == before
+
+    def test_unknown_site_raises(self, prefix):
+        with pytest.raises(KeyError):
+            prefix.withdraw("Z", timestamp=0.0)
+        with pytest.raises(KeyError):
+            prefix.is_announced("Z")
+        with pytest.raises(KeyError):
+            prefix.origin("Z")
+
+    def test_all_withdrawn_leaves_no_routes(self, prefix):
+        prefix.withdraw("A", timestamp=1.0)
+        prefix.withdraw("B", timestamp=2.0)
+        assert prefix.catchment_of(5) is None
+        assert len(prefix.routing()) == 0
+
+
+class TestChangeLog:
+    def test_change_log_records_affected_asns(self, prefix):
+        prefix.withdraw("A", timestamp=100.0)
+        log = prefix.change_log()
+        assert len(log) == 1
+        assert log[0].timestamp == 100.0
+        # ASes 1, 3, 5 were in A's catchment and must change.
+        assert {1, 3, 5} <= log[0].changed_asns
+
+    def test_log_ordering(self, prefix):
+        prefix.withdraw("A", timestamp=100.0)
+        prefix.announce("A", timestamp=200.0)
+        times = [rec.timestamp for rec in prefix.change_log()]
+        assert times == [100.0, 200.0]
+
+
+class TestValidation:
+    def test_needs_origins(self, prefix):
+        with pytest.raises(ValueError):
+            AnycastPrefix(prefix.graph, [])
+
+    def test_rejects_duplicate_sites(self, prefix):
+        with pytest.raises(ValueError):
+            AnycastPrefix(
+                prefix.graph,
+                [Origin(site="A", asn=1), Origin(site="A", asn=2)],
+            )

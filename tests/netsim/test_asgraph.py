@@ -1,0 +1,91 @@
+"""Tests for the AS graph structure."""
+
+import pytest
+
+from repro.netsim import ASGraph, AsNode, AsRole, Relationship
+from repro.util import Location
+
+
+def _node(asn, lat=0.0, lon=0.0, role=AsRole.STUB):
+    return AsNode(asn=asn, location=Location(lat, lon), role=role)
+
+
+@pytest.fixture
+def triangle():
+    graph = ASGraph()
+    for asn in (1, 2, 3):
+        graph.add_as(_node(asn))
+    graph.add_link(1, 2, Relationship.PROVIDER)  # 2 provides to 1
+    graph.add_link(2, 3, Relationship.PEER)
+    return graph
+
+
+class TestRelationship:
+    def test_inverse_pairs(self):
+        assert Relationship.CUSTOMER.inverse is Relationship.PROVIDER
+        assert Relationship.PROVIDER.inverse is Relationship.CUSTOMER
+        assert Relationship.PEER.inverse is Relationship.PEER
+
+
+class TestGraphConstruction:
+    def test_add_duplicate_as_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.add_as(_node(1))
+
+    def test_self_link_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.add_link(1, 1, Relationship.PEER)
+
+    def test_link_to_missing_as_rejected(self, triangle):
+        with pytest.raises(KeyError):
+            triangle.add_link(1, 99, Relationship.PEER)
+
+    def test_conflicting_relationship_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.add_link(1, 2, Relationship.PEER)
+
+    def test_idempotent_same_relationship(self, triangle):
+        triangle.add_link(1, 2, Relationship.PROVIDER)
+        assert triangle.edge_count() == 2
+
+    def test_negative_asn_rejected(self):
+        with pytest.raises(ValueError):
+            _node(0)
+
+
+class TestQueries:
+    def test_link_is_symmetric_with_inverse(self, triangle):
+        assert triangle.neighbors(1)[2] is Relationship.PROVIDER
+        assert triangle.neighbors(2)[1] is Relationship.CUSTOMER
+
+    def test_role_queries(self, triangle):
+        assert triangle.providers(1) == [2]
+        assert triangle.customers(2) == [1]
+        assert triangle.peers(2) == [3]
+        assert triangle.peers(3) == [2]
+
+    def test_contains_and_len(self, triangle):
+        assert 1 in triangle
+        assert 99 not in triangle
+        assert len(triangle) == 3
+
+    def test_missing_as_queries_raise(self, triangle):
+        with pytest.raises(KeyError):
+            triangle.neighbors(99)
+        with pytest.raises(KeyError):
+            triangle.node(99)
+        with pytest.raises(KeyError):
+            triangle.providers(99)
+
+    def test_edge_count(self, triangle):
+        assert triangle.edge_count() == 2
+
+
+class TestValidate:
+    def test_valid_graph_passes(self, triangle):
+        triangle.validate()
+
+    def test_isolated_as_fails(self, triangle):
+        triangle.add_as(_node(4))
+        with pytest.raises(ValueError):
+            triangle.validate()

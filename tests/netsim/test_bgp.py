@@ -1,0 +1,280 @@
+"""Tests for valley-free BGP propagation and anycast catchments."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import (
+    ASGraph,
+    AsNode,
+    Origin,
+    Relationship,
+    RouteClass,
+    RoutingTable,
+    Scope,
+    propagate,
+)
+from repro.util import Location
+
+
+def _node(asn, lat=0.0, lon=0.0):
+    return AsNode(asn=asn, location=Location(lat, lon))
+
+
+def _chain_graph():
+    """origin 1 -cust-> 2 (transit) -peer- 3 (transit) <-cust- 4 (stub)."""
+    graph = ASGraph()
+    for asn in (1, 2, 3, 4):
+        graph.add_as(_node(asn))
+    graph.add_link(1, 2, Relationship.PROVIDER)
+    graph.add_link(2, 3, Relationship.PEER)
+    graph.add_link(4, 3, Relationship.PROVIDER)
+    return graph
+
+
+class TestPropagation:
+    def test_origin_routes_to_itself(self):
+        graph = _chain_graph()
+        table = propagate(graph, [Origin(site="X", asn=1)])
+        route = table.route(1)
+        assert route.path == (1,)
+        assert route.route_class is RouteClass.CUSTOMER
+
+    def test_route_classes_along_chain(self):
+        graph = _chain_graph()
+        table = propagate(graph, [Origin(site="X", asn=1)])
+        assert table.route(2).route_class is RouteClass.CUSTOMER
+        assert table.route(3).route_class is RouteClass.PEER
+        assert table.route(4).route_class is RouteClass.PROVIDER
+        assert table.route(4).path == (1, 2, 3, 4)
+
+    def test_peer_route_not_reexported_to_peer(self):
+        # 1 -> 2 -peer- 3 -peer- 5: AS 5 must NOT learn via two peer hops.
+        graph = _chain_graph()
+        graph.add_as(_node(5))
+        graph.add_link(3, 5, Relationship.PEER)
+        table = propagate(graph, [Origin(site="X", asn=1)])
+        assert table.route(5) is None
+
+    def test_provider_route_not_exported_uphill(self):
+        # 4 learns from its provider 3; 4's other provider 6 must not
+        # learn the route from 4.
+        graph = _chain_graph()
+        graph.add_as(_node(6))
+        graph.add_link(4, 6, Relationship.PROVIDER)
+        table = propagate(graph, [Origin(site="X", asn=1)])
+        assert table.route(6) is None
+
+    def test_customer_route_preferred_over_peer(self):
+        # Transit 3 can reach site A via its customer 7 or site B via
+        # its peer 2; the customer route must win even if longer.
+        graph = _chain_graph()
+        graph.add_as(_node(7))
+        graph.add_as(_node(8))
+        graph.add_link(7, 3, Relationship.PROVIDER)
+        graph.add_link(8, 7, Relationship.PROVIDER)
+        table = propagate(
+            graph,
+            [Origin(site="B", asn=1), Origin(site="A", asn=8)],
+        )
+        route = table.route(3)
+        assert route.site == "A"
+        assert route.route_class is RouteClass.CUSTOMER
+        assert route.path == (8, 7, 3)
+
+    def test_shorter_path_wins_within_class(self):
+        graph = ASGraph()
+        for asn in (1, 2, 3, 4):
+            graph.add_as(_node(asn))
+        # Both origins are customers reachable uphill of 4's provider
+        # chain; origin 1 is two hops, origin 3 is one hop.
+        graph.add_link(1, 2, Relationship.PROVIDER)
+        graph.add_link(2, 4, Relationship.PROVIDER)
+        graph.add_link(3, 4, Relationship.PROVIDER)
+        table = propagate(
+            graph, [Origin(site="FAR", asn=1), Origin(site="NEAR", asn=3)]
+        )
+        assert table.route(4).site == "NEAR"
+
+    def test_geo_tiebreak_prefers_nearby_origin(self):
+        graph = ASGraph()
+        graph.add_as(_node(1, lat=0, lon=0))     # origin west
+        graph.add_as(_node(2, lat=0, lon=50))    # origin east
+        graph.add_as(_node(3, lat=0, lon=45))    # transit near east
+        graph.add_link(1, 3, Relationship.PROVIDER)
+        graph.add_link(2, 3, Relationship.PROVIDER)
+        origins = [
+            Origin(site="W", asn=1, location=Location(0, 0)),
+            Origin(site="E", asn=2, location=Location(0, 50)),
+        ]
+        table = propagate(graph, origins)
+        assert table.route(3).site == "E"
+
+    def test_unknown_origin_asn_rejected(self):
+        graph = _chain_graph()
+        with pytest.raises(KeyError):
+            propagate(graph, [Origin(site="X", asn=99)])
+
+    def test_empty_site_rejected(self):
+        with pytest.raises(ValueError):
+            Origin(site="", asn=1)
+
+    def test_withdrawal_shifts_catchment(self):
+        # Two origins; withdrawing one moves its ASes to the other.
+        graph = ASGraph()
+        for asn in (1, 2, 3, 4, 5):
+            graph.add_as(_node(asn))
+        graph.add_link(1, 3, Relationship.PROVIDER)
+        graph.add_link(2, 4, Relationship.PROVIDER)
+        graph.add_link(3, 4, Relationship.PEER)
+        graph.add_link(5, 3, Relationship.PROVIDER)
+        both = propagate(
+            graph, [Origin(site="A", asn=1), Origin(site="B", asn=2)]
+        )
+        assert both.site_of(5) == "A"
+        only_b = propagate(graph, [Origin(site="B", asn=2)])
+        assert only_b.site_of(5) == "B"
+
+
+class TestLocalScope:
+    def test_local_route_stays_at_neighbors(self):
+        graph = _chain_graph()
+        table = propagate(
+            graph, [Origin(site="L", asn=1, scope=Scope.LOCAL)]
+        )
+        assert table.site_of(1) == "L"
+        assert table.site_of(2) == "L"  # direct provider
+        assert table.site_of(3) is None  # not re-exported
+        assert table.site_of(4) is None
+
+    def test_local_customer_class_beats_global_provider_class(self):
+        # Stub 4 peers directly with local site 5; it should prefer the
+        # local peer route over the provider-learned global route.
+        graph = _chain_graph()
+        graph.add_as(_node(5))
+        graph.add_link(5, 4, Relationship.PEER)
+        table = propagate(
+            graph,
+            [
+                Origin(site="GLOB", asn=1),
+                Origin(site="LOC", asn=5, scope=Scope.LOCAL),
+            ],
+        )
+        assert table.site_of(4) == "LOC"
+
+
+class TestRoutingTable:
+    def test_catchments_partition_reachable_asns(self):
+        graph = _chain_graph()
+        table = propagate(graph, [Origin(site="X", asn=1)])
+        catchments = table.catchments()
+        total = set()
+        for asns in catchments.values():
+            assert not (total & asns)
+            total |= asns
+        assert total == table.reachable_asns()
+
+    def test_changes_from_detects_gain_and_loss(self):
+        graph = _chain_graph()
+        full = propagate(graph, [Origin(site="X", asn=1)])
+        empty = RoutingTable({})
+        assert full.changes_from(empty) == full.reachable_asns()
+        assert empty.changes_from(full) == full.reachable_asns()
+        assert full.changes_from(full) == set()
+
+
+def _valley_free(graph, path):
+    """Check a path is valley-free reading origin -> receiver."""
+    # Classify each hop from the exporter's perspective: who is the
+    # *receiver* for the exporter?  uphill = exporting to provider.
+    kinds = []
+    for exporter, receiver in zip(path, path[1:]):
+        rel = graph.neighbors(exporter)[receiver]
+        kinds.append(rel)
+    # Valid: PROVIDER* (uphill), then at most one PEER, then CUSTOMER*.
+    phase = 0  # 0 uphill, 1 after-peer, 2 downhill
+    for rel in kinds:
+        if rel is Relationship.PROVIDER:
+            if phase != 0:
+                return False
+        elif rel is Relationship.PEER:
+            if phase != 0:
+                return False
+            phase = 1
+        else:  # CUSTOMER: downhill
+            phase = 2
+    return True
+
+
+@st.composite
+def random_graph_and_origins(draw):
+    n = draw(st.integers(min_value=3, max_value=12))
+    graph = ASGraph()
+    for asn in range(1, n + 1):
+        graph.add_as(
+            _node(
+                asn,
+                lat=draw(st.floats(min_value=-60, max_value=60)),
+                lon=draw(st.floats(min_value=-170, max_value=170)),
+            )
+        )
+    # Random relationships; orient provider edges from lower to higher
+    # ASN to guarantee the customer-provider hierarchy is acyclic.
+    for a in range(1, n + 1):
+        for b in range(a + 1, n + 1):
+            kind = draw(
+                st.sampled_from(["none", "none", "cust", "peer"])
+            )
+            if kind == "cust":
+                graph.add_link(a, b, Relationship.PROVIDER)
+            elif kind == "peer":
+                graph.add_link(a, b, Relationship.PEER)
+    n_origins = draw(st.integers(min_value=1, max_value=3))
+    origin_asns = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=n),
+            min_size=n_origins,
+            max_size=n_origins,
+            unique=True,
+        )
+    )
+    origins = [
+        Origin(
+            site=f"S{asn}",
+            asn=asn,
+            location=graph.node(asn).location,
+        )
+        for asn in origin_asns
+    ]
+    return graph, origins
+
+
+class TestValleyFreeProperty:
+    @settings(max_examples=120, deadline=None)
+    @given(data=random_graph_and_origins())
+    def test_all_best_paths_valley_free_and_loop_free(self, data):
+        graph, origins = data
+        table = propagate(graph, origins)
+        for asn in graph.asns:
+            route = table.route(asn)
+            if route is None:
+                continue
+            assert route.path[-1] == asn
+            assert len(set(route.path)) == len(route.path), "loop"
+            assert _valley_free(graph, route.path), route.path
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=random_graph_and_origins())
+    def test_origins_always_reach_themselves(self, data):
+        graph, origins = data
+        table = propagate(graph, origins)
+        for origin in origins:
+            assert table.site_of(origin.asn) == origin.site
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=random_graph_and_origins())
+    def test_deterministic(self, data):
+        graph, origins = data
+        a = propagate(graph, origins)
+        b = propagate(graph, origins)
+        assert a.changes_from(b) == set()

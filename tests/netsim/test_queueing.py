@@ -1,0 +1,101 @@
+"""Tests for the overload (loss + bufferbloat latency) model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim import OverloadModel
+
+
+@pytest.fixture
+def model():
+    return OverloadModel(service_ms=0.5, buffer_ms=1800.0, loss_knee=0.95)
+
+
+class TestLoss:
+    def test_no_loss_at_low_load(self, model):
+        assert model.loss_fraction(1000, 100_000) == 0.0
+
+    def test_loss_at_saturation_matches_excess(self, model):
+        # At 2x capacity, half the queries must be dropped.
+        assert model.loss_fraction(200_000, 100_000) == pytest.approx(0.5)
+
+    def test_deep_overload_loses_nearly_everything(self, model):
+        # The paper's 100x normal load against a small site.
+        loss = model.loss_fraction(10_000_000, 100_000)
+        assert loss == pytest.approx(0.99)
+
+    def test_loss_monotone_in_load(self, model):
+        loads = np.linspace(0, 1_000_000, 200)
+        _, losses, _ = model.evaluate(loads, np.full_like(loads, 100_000.0))
+        assert (np.diff(losses) >= -1e-12).all()
+
+    @given(
+        rho=st.floats(min_value=0, max_value=1000),
+    )
+    def test_loss_bounded(self, rho):
+        loss = OverloadModel().loss_fraction(rho * 1000, 1000)
+        assert 0.0 <= loss <= 1.0
+
+
+class TestDelay:
+    def test_negligible_delay_at_low_load(self, model):
+        assert model.queue_delay_ms(1000, 100_000) < 1.0
+
+    def test_bufferbloat_at_overload(self, model):
+        # Fig. 7: overloaded K-Root sites showed RTTs of 1-2 seconds.
+        delay = model.queue_delay_ms(500_000, 100_000)
+        assert 1000.0 <= delay <= 1800.0
+
+    def test_delay_capped_by_buffer(self, model):
+        assert model.queue_delay_ms(10**9, 1) <= model.buffer_ms
+
+    def test_delay_monotone_in_load(self, model):
+        loads = np.linspace(0, 2_000_000, 500)
+        _, _, delays = model.evaluate(loads, np.full_like(loads, 100_000.0))
+        assert (np.diff(delays) >= -1e-9).all()
+
+    def test_deeper_overload_higher_delay(self, model):
+        shallow = model.queue_delay_ms(150_000, 100_000)
+        deep = model.queue_delay_ms(1_000_000, 100_000)
+        assert deep > shallow
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            OverloadModel(service_ms=0)
+        with pytest.raises(ValueError):
+            OverloadModel(buffer_ms=-1)
+        with pytest.raises(ValueError):
+            OverloadModel(loss_knee=0.3)
+
+    def test_rejects_negative_load(self, model):
+        with pytest.raises(ValueError):
+            model.loss_fraction(-1, 100)
+
+    def test_rejects_zero_capacity(self, model):
+        with pytest.raises(ValueError):
+            model.loss_fraction(1, 0)
+
+    def test_vectorised_validation(self, model):
+        with pytest.raises(ValueError):
+            model.evaluate(np.array([-1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            model.evaluate(np.array([1.0]), np.array([0.0]))
+
+
+class TestVectorised:
+    def test_matches_scalar(self, model):
+        offered = np.array([0.0, 50_000.0, 99_000.0, 150_000.0, 10**7])
+        capacity = np.full_like(offered, 100_000.0)
+        rho, loss, delay = model.evaluate(offered, capacity)
+        for i in range(len(offered)):
+            assert rho[i] == pytest.approx(offered[i] / 100_000.0)
+            assert loss[i] == pytest.approx(
+                model.loss_fraction(offered[i], 100_000.0)
+            )
+            assert delay[i] == pytest.approx(
+                model.queue_delay_ms(offered[i], 100_000.0)
+            )

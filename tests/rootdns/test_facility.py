@@ -1,0 +1,82 @@
+"""Tests for the shared-facility (collateral damage) model."""
+
+import pytest
+
+from repro.rootdns import FacilityRegistry
+
+
+@pytest.fixture
+def registry():
+    reg = FacilityRegistry()
+    reg.register("FRA-DC", "K-FRA", capacity_qps=300_000, coupling=0.15)
+    reg.register("FRA-DC", "E-FRA", capacity_qps=800_000, coupling=0.15)
+    reg.register("FRA-DC", "D-FRA", capacity_qps=400_000, coupling=0.15)
+    reg.register("FRA-DC", "nl-anycast-1", capacity_qps=100_000, coupling=1.0)
+    return reg
+
+
+class TestRegistration:
+    def test_membership(self, registry):
+        assert registry.facility_of("K-FRA") == "FRA-DC"
+        assert registry.facility_of("X-LAX") is None
+        labels = {m.label for m in registry.members("FRA-DC")}
+        assert "nl-anycast-1" in labels
+
+    def test_duplicate_label_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.register("AMS-DC", "K-FRA", 1.0, 0.1)
+
+    def test_unknown_facility_raises(self, registry):
+        with pytest.raises(KeyError):
+            registry.members("ZZZ-DC")
+
+    def test_capacity_is_sum_of_members(self, registry):
+        assert registry.capacity("FRA-DC") == pytest.approx(1_600_000)
+
+    def test_member_validation(self):
+        reg = FacilityRegistry()
+        with pytest.raises(ValueError):
+            reg.register("X", "a", capacity_qps=0, coupling=0.1)
+        with pytest.raises(ValueError):
+            reg.register("X", "a", capacity_qps=1, coupling=1.5)
+
+
+class TestSpillover:
+    def test_no_spill_below_capacity(self, registry):
+        extra = registry.spillover({"K-FRA": 100_000, "E-FRA": 100_000})
+        assert extra == {}
+
+    def test_spill_hits_unattacked_colocated_service(self, registry):
+        # The section-3.6 signature: K and E overloaded in Frankfurt,
+        # unattacked D-FRA and the .nl node suffer too.
+        offered = {"K-FRA": 3_000_000, "E-FRA": 3_000_000, "D-FRA": 50_000}
+        extra = registry.spillover(offered)
+        assert "D-FRA" in extra
+        # D couples weakly: visible but small loss (paper: >= 10 % dip).
+        assert 0.05 < extra["D-FRA"] < 0.2
+
+    def test_fully_coupled_member_takes_full_overflow(self, registry):
+        offered = {"K-FRA": 8_000_000, "E-FRA": 8_000_000}
+        extra = registry.spillover(offered)
+        # .nl is fully coupled: it sees the whole overflow loss.
+        assert extra["nl-anycast-1"] == pytest.approx(
+            1 - 1_600_000 / 16_000_000
+        )
+        assert extra["nl-anycast-1"] > 0.85
+
+    def test_missing_labels_count_as_zero(self, registry):
+        extra = registry.spillover({"K-FRA": 10_000_000})
+        assert extra["D-FRA"] > 0
+
+    def test_spill_capped_at_one(self, registry):
+        extra = registry.spillover({"K-FRA": 1e12})
+        for value in extra.values():
+            assert value <= 1.0
+
+    def test_independent_facilities(self):
+        reg = FacilityRegistry()
+        reg.register("FRA-DC", "K-FRA", 100_000, 0.5)
+        reg.register("SYD-DC", "D-SYD", 100_000, 0.5)
+        extra = reg.spillover({"K-FRA": 1_000_000})
+        assert "K-FRA" in extra
+        assert "D-SYD" not in extra

@@ -1,0 +1,143 @@
+"""Tests for the root letter registry against the paper's Table 2."""
+
+import pytest
+
+from repro.dns import LETTERS
+from repro.rootdns import (
+    ATTACKED_LETTERS,
+    LETTERS_SPEC,
+    RSSAC_REPORTING_LETTERS,
+    SitePolicy,
+    facility_for,
+    letter_spec,
+)
+from repro.netsim import Scope
+
+# Table 2's "observed" site counts, which our deployments instantiate.
+OBSERVED_SITES = {
+    "A": 5, "B": 1, "C": 8, "D": 65, "E": 74, "F": 52, "G": 6,
+    "H": 2, "I": 48, "J": 69, "K": 32, "L": 113, "M": 6,
+}
+
+
+class TestRegistryShape:
+    def test_thirteen_letters(self):
+        assert sorted(LETTERS_SPEC) == list(LETTERS)
+
+    @pytest.mark.parametrize("letter,count", sorted(OBSERVED_SITES.items()))
+    def test_observed_site_counts_match_table2(self, letter, count):
+        assert LETTERS_SPEC[letter].n_sites == count
+
+    def test_twelve_operators_verisign_runs_two(self):
+        operators = [spec.operator for spec in LETTERS_SPEC.values()]
+        assert len(set(operators)) == 12
+        assert operators.count("Verisign") == 2
+        assert LETTERS_SPEC["A"].operator == "Verisign"
+        assert LETTERS_SPEC["J"].operator == "Verisign"
+
+    def test_d_l_m_not_attacked(self):
+        # Section 2.3 (Verisign report): D, L and M were not attacked.
+        assert set("DLM").isdisjoint(ATTACKED_LETTERS)
+        assert len(ATTACKED_LETTERS) == 10
+
+    def test_rssac_reporters_are_a_h_j_k_l(self):
+        # Section 2.4.2: only five letters provided RSSAC-002 data.
+        assert sorted(RSSAC_REPORTING_LETTERS) == ["A", "H", "J", "K", "L"]
+
+    def test_a_root_probed_every_30_minutes(self):
+        # Section 2.4.1: A-Root was probed only every 30 minutes.
+        assert LETTERS_SPEC["A"].probe_interval_s == 1800
+        assert LETTERS_SPEC["K"].probe_interval_s == 240
+
+    def test_measurement_ids_match_paper_reference(self):
+        assert LETTERS_SPEC["K"].measurement_id == 10301
+        assert LETTERS_SPEC["F"].measurement_id == 10304
+
+    def test_unknown_letter_raises(self):
+        with pytest.raises(KeyError):
+            letter_spec("Z")
+
+
+class TestArchitectures:
+    def test_b_root_is_single_site(self):
+        spec = LETTERS_SPEC["B"]
+        assert spec.n_sites == 1
+        assert spec.reported_note == "(unicast)"
+
+    def test_h_root_primary_backup(self):
+        spec = LETTERS_SPEC["H"]
+        codes = {s.code for s in spec.sites}
+        assert codes == {"BWI", "SAN"}
+        assert spec.site("BWI").initially_announced
+        assert not spec.site("SAN").initially_announced
+        assert spec.site("BWI").policy is SitePolicy.WITHDRAW
+
+    def test_k_root_documented_behaviours(self):
+        spec = LETTERS_SPEC["K"]
+        assert spec.site("LHR").policy is SitePolicy.PARTIAL_WITHDRAW
+        assert spec.site("FRA").policy is SitePolicy.PARTIAL_WITHDRAW
+        assert spec.site("AMS").policy is SitePolicy.ABSORB
+        # K-AMS is the big absorber.
+        assert spec.site("AMS").capacity_qps > spec.site("LHR").capacity_qps
+
+    def test_e_root_withdrawers_have_limited_recovery(self):
+        spec = LETTERS_SPEC["E"]
+        for code in ("AMS", "CDG", "WAW", "SYD", "NLV"):
+            site = spec.site(code)
+            assert site.policy is SitePolicy.WITHDRAW
+            assert site.reannounce_limit == 1
+        assert spec.site("FRA").policy is SitePolicy.ABSORB
+
+    def test_d_root_has_shared_facility_sites(self):
+        # Section 3.6: D-FRA and D-SYD suffered collateral damage.
+        spec = LETTERS_SPEC["D"]
+        assert spec.site("FRA").facility == "FRA-DC"
+        assert spec.site("SYD").facility == "SYD-DC"
+
+    def test_every_letter_has_unique_sites(self):
+        for spec in LETTERS_SPEC.values():
+            codes = [s.code for s in spec.sites]
+            assert len(set(codes)) == len(codes)
+
+    def test_registry_is_deterministic_across_builds(self):
+        from repro.rootdns.letters import _build_letters
+
+        rebuilt = _build_letters()
+        for letter, spec in LETTERS_SPEC.items():
+            assert [s.code for s in rebuilt[letter].sites] == [
+                s.code for s in spec.sites
+            ]
+
+
+class TestFacilities:
+    def test_shared_metros(self):
+        assert facility_for("FRA") == "FRA-DC"
+        assert facility_for("SYD") == "SYD-DC"
+        assert facility_for("MKC") is None
+
+    def test_frankfurt_hosts_many_letters(self):
+        # Section 3.6: seven letters hosted in Frankfurt.
+        with_fra = [
+            spec.letter
+            for spec in LETTERS_SPEC.values()
+            if any(s.code == "FRA" for s in spec.sites)
+        ]
+        assert len(with_fra) >= 5
+        assert "D" in with_fra
+        assert "K" in with_fra
+
+
+class TestCapacityScaling:
+    def test_attacked_small_letters_are_under_provisioned(self):
+        # 5 Mq/s of event traffic must overwhelm B and H outright.
+        for letter in ("B", "H"):
+            assert LETTERS_SPEC[letter].capacity_qps < 1e6
+
+    def test_large_letters_ride_out_the_attack(self):
+        for letter in ("J", "L"):
+            assert LETTERS_SPEC[letter].capacity_qps > 10e6
+
+    def test_scope_split_exists_for_mixed_letters(self):
+        spec = LETTERS_SPEC["K"]
+        scopes = {s.scope for s in spec.sites}
+        assert scopes == {Scope.GLOBAL, Scope.LOCAL}

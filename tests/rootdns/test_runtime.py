@@ -1,0 +1,171 @@
+"""Tests for the wire-level root name server."""
+
+import pytest
+
+from repro.dns import (
+    Message,
+    QClass,
+    QType,
+    Rcode,
+    ResponseRateLimiter,
+    identity_from_reply,
+    make_chaos_query,
+    make_query,
+)
+from repro.rootdns.runtime import (
+    DELEGATION_TTL,
+    RootNameServer,
+    RootZone,
+)
+
+
+@pytest.fixture
+def server():
+    return RootNameServer("K", "FRA", 2)
+
+
+class TestRootZone:
+    def test_delegation_lookup(self):
+        zone = RootZone()
+        assert zone.delegation_for("www.336901.com.") == "com"
+        assert zone.delegation_for("example.nl.") == "nl"
+        assert zone.delegation_for("www.example.zz.") is None
+        assert zone.delegation_for(".") is None
+
+    def test_referral_records(self):
+        zone = RootZone()
+        records = zone.referral_records("com")
+        assert len(records) == 4
+        assert all(r.rtype is QType.NS for r in records)
+        assert all(r.ttl == DELEGATION_TTL for r in records)
+        with pytest.raises(KeyError):
+            zone.referral_records("zz")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RootZone(tlds=frozenset({"a.b"}))
+
+
+class TestChaosHandling:
+    def test_hostname_bind(self, server):
+        query = make_chaos_query(7)
+        response = server.handle(query, "192.0.2.1")
+        identity = identity_from_reply("K", response)
+        assert identity is not None
+        assert identity.site_label == "K-FRA"
+        assert identity.server == 2
+
+    def test_id_server(self, server):
+        query = make_query(7, "id.server.", QType.TXT, QClass.CH)
+        response = server.handle(query, "192.0.2.1")
+        assert identity_from_reply("K", response) is not None
+
+    def test_other_chaos_refused(self, server):
+        query = make_query(7, "version.bind.", QType.TXT, QClass.CH)
+        response = server.handle(query, "192.0.2.1")
+        assert response.header.rcode is Rcode.REFUSED
+
+
+class TestInHandling:
+    def test_referral_for_event_qname(self, server):
+        # The Nov 30 event name draws a .com referral -- the response
+        # shape behind Table 3's ~490-byte responses.
+        query = make_query(1, "www.336901.com.")
+        response = server.handle(query, "192.0.2.1")
+        assert response.header.rcode is Rcode.NOERROR
+        assert len(response.authorities) == 4
+        assert not response.header.aa  # referrals are not authoritative
+        assert response.wire_size > 100
+
+    def test_nxdomain_for_unknown_tld(self, server):
+        query = make_query(1, "example.doesnotexist.")
+        response = server.handle(query, "192.0.2.1")
+        assert response.header.rcode is Rcode.NXDOMAIN
+        assert response.header.aa
+        assert response.authorities[0].rtype is QType.SOA
+
+    def test_apex_query(self, server):
+        query = make_query(1, ".", QType.SOA)
+        response = server.handle(query, "192.0.2.1")
+        assert response.header.rcode is Rcode.NOERROR
+        assert response.authorities[0].rtype is QType.SOA
+
+    def test_non_in_non_ch_notimp(self, server):
+        query = make_query(1, "example.com.", qclass=QClass.ANY)
+        response = server.handle(query, "192.0.2.1")
+        assert response.header.rcode is Rcode.NOTIMP
+
+
+class TestWireLevel:
+    def test_wire_roundtrip(self, server):
+        wire = make_query(9, "www.916yy.com.").encode()
+        response_wire = server.handle_wire(wire, "192.0.2.1")
+        response = Message.decode(response_wire)
+        assert response.header.msg_id == 9
+        assert response.header.qr
+
+    def test_garbage_ignored(self, server):
+        assert server.handle_wire(b"\x00\x01", "192.0.2.1") is None
+
+    def test_responses_to_responses_ignored(self, server):
+        query = make_query(1, "example.com.")
+        response = server.handle(query, "192.0.2.1")
+        assert server.handle(response, "192.0.2.1") is None
+
+    def test_empty_question_formerr(self, server):
+        from repro.dns import Header
+
+        empty = Message(header=Header(msg_id=1))
+        response = server.handle(empty, "192.0.2.1")
+        assert response.header.rcode is Rcode.FORMERR
+
+
+class TestRrlIntegration:
+    def test_repeated_source_rate_limited(self):
+        rrl = ResponseRateLimiter(
+            responses_per_second=0.02, window_seconds=50, slip=0
+        )
+        server = RootNameServer("K", "FRA", 1, rrl=rrl)
+        query = make_query(1, "www.336901.com.")
+        # First response passes; the flood is dropped.
+        assert server.handle(query, "198.51.100.1", now=0.0) is not None
+        drops = sum(
+            1
+            for _ in range(20)
+            if server.handle(query, "198.51.100.1", now=0.0) is None
+        )
+        assert drops == 20
+        assert server.responses_dropped == 20
+
+    def test_slip_sends_truncated(self):
+        rrl = ResponseRateLimiter(
+            responses_per_second=0.02, window_seconds=50, slip=1
+        )
+        server = RootNameServer("K", "FRA", 1, rrl=rrl)
+        query = make_query(1, "www.336901.com.")
+        server.handle(query, "198.51.100.1", now=0.0)
+        slipped = server.handle(query, "198.51.100.1", now=0.0)
+        assert slipped is not None
+        assert slipped.header.tc
+        assert not slipped.answers
+
+    def test_distinct_sources_unaffected(self):
+        # Spoofed random sources evade RRL -- why it cannot stop the
+        # query flood, only shrink the response traffic (section 2.3).
+        rrl = ResponseRateLimiter(
+            responses_per_second=0.02, window_seconds=50, slip=0
+        )
+        server = RootNameServer("K", "FRA", 1, rrl=rrl)
+        query = make_query(1, "www.336901.com.")
+        answered = sum(
+            1
+            for i in range(50)
+            if server.handle(query, f"198.51.{i}.1", now=0.0) is not None
+        )
+        assert answered == 50
+
+    def test_counters(self, server):
+        query = make_query(1, "example.com.")
+        server.handle(query, "192.0.2.1")
+        assert server.queries_handled == 1
+        assert server.responses_sent == 1

@@ -1,0 +1,145 @@
+"""Tests for RSSAC-002 report modelling."""
+
+import numpy as np
+import pytest
+
+from repro.rootdns import letter_spec
+from repro.rssac import (
+    DailyReport,
+    DayAccumulator,
+    build_baseline_report,
+    build_daily_report,
+    size_bin,
+)
+
+
+class TestSizeBins:
+    def test_16_byte_bins(self):
+        assert size_bin(0) == 0
+        assert size_bin(15.9) == 0
+        assert size_bin(16) == 16
+        assert size_bin(44) == 32
+
+    def test_attack_query_bins_match_paper(self):
+        # Section 3.1: Nov 30 queries fell in the 32-47 B bin and
+        # Dec 1 queries in the 16-31 B bin (DNS payload sizes).
+        from repro.dns import make_query
+
+        nov30 = make_query(0, "www.336901.com.").wire_size
+        dec1 = make_query(0, "www.916yy.com.").wire_size
+        assert size_bin(nov30) == 32
+        assert size_bin(dec1) == 16
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            size_bin(-1)
+
+
+class TestDailyReport:
+    def test_mean_rates(self):
+        report = DailyReport(
+            letter="K", date="2015-11-30",
+            queries=86_400.0 * 2, responses=86_400.0, unique_sources=10.0,
+        )
+        assert report.mean_qps == pytest.approx(2.0)
+        assert report.mean_rps == pytest.approx(1.0)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            DailyReport(letter="K", date="x", queries=-1,
+                        responses=0, unique_sources=0)
+
+    def test_dominant_bin(self):
+        report = DailyReport(
+            letter="K", date="x", queries=1, responses=1,
+            unique_sources=1,
+            query_size_hist={32: 100.0, 48: 5.0},
+        )
+        assert report.dominant_query_bin() == 32
+
+
+class TestBuildReports:
+    def test_baseline_report_near_base_rate(self):
+        spec = letter_spec("K")
+        report = build_baseline_report(
+            spec, "2015-11-23", np.random.default_rng(1)
+        )
+        assert report.mean_qps == pytest.approx(spec.baseline_qps, rel=0.05)
+        # No attack bin on a quiet day; baseline traffic sits in the
+        # 48-63 B bin, away from the events' short fixed names.
+        assert report.dominant_query_bin() == 48
+
+    def test_event_day_shows_attack_bin(self):
+        spec = letter_spec("K")
+        acc = DayAccumulator()
+        acc.add_bin(
+            legit_accepted=40_000, spill_accepted=0.0,
+            attack_accepted=2_000_000, bin_seconds=9600,
+            attack_query_payload=32, attack_response_payload=454,
+        )
+        report = build_daily_report(
+            spec, "2015-11-30", acc, duplicate_ratio=0.68,
+            spoof_pool_size=2**31,
+        )
+        assert report.dominant_query_bin() == 32
+
+    def test_capture_fraction_discounts_queries(self):
+        spec = letter_spec("K")  # capture fraction < 1
+        acc = DayAccumulator()
+        acc.add_bin(40_000, 0.0, 1_000_000, 9600, 32, 454)
+        report = build_daily_report(
+            spec, "2015-11-30", acc, duplicate_ratio=0.0,
+            spoof_pool_size=2**31,
+        )
+        attack_counted = report.queries - acc.legit_queries
+        assert attack_counted == pytest.approx(
+            acc.attack_accepted * spec.rssac_capture_fraction
+        )
+
+    def test_rrl_suppresses_attack_responses(self):
+        spec = letter_spec("A")  # full capture
+        acc = DayAccumulator()
+        acc.add_bin(0.0, 0.0, 1_000_000, 9600, 32, 454)
+        report = build_daily_report(
+            spec, "2015-11-30", acc, duplicate_ratio=0.68,
+            spoof_pool_size=2**31,
+        )
+        # ~61 % of attack responses suppressed (section 2.3's ~60 %).
+        assert report.responses / report.queries == pytest.approx(
+            1 - 0.612, abs=0.02
+        )
+
+    def test_letter_flips_raise_uniques(self):
+        # Unattacked L sees extra resolvers during the events
+        # (section 3.2.2's 6-13x unique-IP jump).
+        spec = letter_spec("L")
+        quiet = DayAccumulator()
+        quiet.add_bin(spec.baseline_qps, 0.0, 0.0, 86_400)
+        busy = DayAccumulator()
+        busy.add_bin(spec.baseline_qps, 100_000.0, 0.0, 86_400)
+        quiet_report = build_daily_report(
+            spec, "2015-11-30", quiet, 0.0, 2**31
+        )
+        busy_report = build_daily_report(
+            spec, "2015-11-30", busy, 0.0, 2**31
+        )
+        assert busy_report.unique_sources > 5 * quiet_report.unique_sources
+        assert busy_report.queries > quiet_report.queries
+
+
+class TestScenarioReports:
+    def test_nine_reports_per_letter(self, scenario):
+        for letter in scenario.letters:
+            assert len(scenario.rssac[letter]) == 9
+
+    def test_attacked_reporters_spike_on_event_days(self, scenario):
+        reports = scenario.rssac["A"]
+        baseline = np.mean([r.queries for r in reports[:7]])
+        event_day = reports[7]
+        assert event_day.queries > 10 * baseline
+
+    def test_unattacked_letter_sees_flip_bump(self, scenario):
+        reports = scenario.rssac["L"]
+        baseline = np.mean([r.queries for r in reports[:7]])
+        assert reports[7].queries > baseline * 1.01
+        assert reports[7].unique_sources > reports[0].unique_sources * 2

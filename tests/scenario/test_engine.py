@@ -1,0 +1,138 @@
+"""Integration tests: the full Nov/Dec 2015 scenario."""
+
+import numpy as np
+import pytest
+
+from repro import ScenarioConfig, simulate
+from repro.scenario import EVENT_DATES
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(n_vps=0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(letters=())
+        with pytest.raises(ValueError):
+            ScenarioConfig(baseline_days=0)
+
+    def test_subset_runs(self):
+        result = simulate(
+            ScenarioConfig(
+                seed=3, n_stubs=100, n_vps=80, letters=("B", "K"),
+                include_nl=False,
+            )
+        )
+        assert result.letters == ["B", "K"]
+        assert result.nl is None
+
+    def test_deterministic_for_seed(self):
+        config = ScenarioConfig(
+            seed=5, n_stubs=80, n_vps=50, letters=("K",), include_nl=False
+        )
+        a = simulate(config)
+        b = simulate(config)
+        assert (
+            a.atlas.letter("K").site_idx == b.atlas.letter("K").site_idx
+        ).all()
+
+    def test_seed_changes_results(self):
+        base = dict(n_stubs=80, n_vps=50, letters=("K",), include_nl=False)
+        a = simulate(ScenarioConfig(seed=5, **base))
+        b = simulate(ScenarioConfig(seed=6, **base))
+        assert (
+            a.atlas.letter("K").site_idx != b.atlas.letter("K").site_idx
+        ).any()
+
+
+class TestHeadlineDynamics:
+    """The paper's Table 1 observations, asserted on the simulation."""
+
+    def _worst_fraction(self, scenario, letter):
+        obs = scenario.atlas.letter(letter)
+        succ = (obs.site_idx >= 0).sum(axis=1).astype(float)
+        return succ.min() / max(np.median(succ), 1.0)
+
+    def test_letters_see_minimal_to_severe_loss(self, scenario):
+        # Section 3.2: loss ranged from ~1 % to ~95 % across letters.
+        worst = {
+            letter: self._worst_fraction(scenario, letter)
+            for letter in scenario.letters
+            if letter != "A"
+        }
+        assert worst["B"] < 0.3          # unicast B suffered most
+        assert worst["H"] < 0.4          # primary/backup H next
+        assert worst["L"] > 0.9          # big unattacked letters fine
+        assert worst["M"] > 0.9
+        assert worst["B"] < worst["K"] < worst["L"]
+
+    def test_unattacked_letters_mostly_flat(self, scenario):
+        for letter in ("L", "M"):
+            assert self._worst_fraction(scenario, letter) > 0.9
+
+    def test_h_root_fails_over_and_back(self, scenario):
+        log = [(e.site, e.action) for e in
+               scenario.deployments["H"].policy_log]
+        assert log.count(("BWI", "withdraw")) == 2   # both events
+        assert log.count(("SAN", "announce")) == 2
+        assert log.count(("BWI", "announce")) == 2   # recovered twice
+
+    def test_e_root_withdrawers_stay_down_after_second_event(
+        self, scenario
+    ):
+        e = scenario.deployments["E"]
+        for code in ("AMS", "CDG", "WAW", "SYD", "NLV"):
+            assert not e.prefix.is_announced(code), code
+        # Absorbers remain announced.
+        assert e.prefix.is_announced("FRA")
+
+    def test_k_root_partial_withdrawals(self, scenario):
+        log = [(e.site, e.action) for e in
+               scenario.deployments["K"].policy_log]
+        assert ("LHR", "partial") in log
+        assert ("FRA", "partial") in log
+        assert ("LHR", "restore") in log
+        # K never fully withdraws a big site.
+        assert ("LHR", "withdraw") not in log
+        assert ("AMS", "withdraw") not in log
+
+    def test_truth_arrays_shapes(self, scenario):
+        truth = scenario.truth["K"]
+        n_sites = len(truth.site_codes)
+        assert truth.offered_qps.shape == (scenario.grid.n_bins, n_sites)
+        assert truth.loss.shape == truth.offered_qps.shape
+        assert (truth.loss >= 0).all() and (truth.loss <= 1).all()
+
+    def test_attack_load_confined_to_event_bins(self, scenario):
+        truth = scenario.truth["K"]
+        quiet_bin = scenario.grid.bin_index(
+            scenario.grid.start + 20 * 3600
+        )
+        event_bin = scenario.grid.bin_index(
+            scenario.grid.start + int(7.5 * 3600)
+        )
+        assert truth.offered_qps[event_bin].sum() > (
+            20 * truth.offered_qps[quiet_bin].sum()
+        )
+
+    def test_rssac_dates(self, scenario):
+        reports = scenario.rssac["A"]
+        assert [r.date for r in reports[-2:]] == list(EVENT_DATES)
+
+    def test_nl_nodes_silenced(self, scenario):
+        normalized = scenario.nl.normalized_series()
+        mask = scenario.grid.event_mask()
+        # The two co-located nodes drop to nearly nothing (Fig. 15).
+        for i in range(2):
+            assert normalized[mask, i].min() < 0.25
+        # Stand-alone nodes keep serving.
+        for i in range(2, normalized.shape[1]):
+            assert normalized[mask, i].min() > 0.6
+
+    def test_bufferbloat_rtts_at_absorbers(self, scenario):
+        # Fig. 7: overloaded K sites answer with seconds of delay.
+        truth = scenario.truth["K"]
+        ams = truth.site_codes.index("AMS")
+        mask = scenario.grid.event_mask()
+        assert truth.delay_ms[mask, ams].max() > 800.0
+        assert truth.delay_ms[~mask, ams].max() < 100.0

@@ -1,0 +1,57 @@
+"""Tests for the .nl collateral-damage service model."""
+
+import pytest
+
+from repro.rootdns import FacilityRegistry
+from repro.scenario import COLOCATED_NODES, NlConfig, NlService
+from repro.util import TimeGrid
+
+
+@pytest.fixture
+def service():
+    grid = TimeGrid.paper_window()
+    facilities = FacilityRegistry(ingress_factor=0.1)
+    return NlService(NlConfig(), grid, facilities), facilities
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NlConfig(base_qps=0)
+        with pytest.raises(ValueError):
+            NlConfig(anycast_share=0.6)
+
+
+class TestService:
+    def test_six_nodes(self, service):
+        nl, _ = service
+        assert len(nl.node_labels) == 6
+
+    def test_colocated_nodes_registered(self, service):
+        _, facilities = service
+        for name, facility in COLOCATED_NODES:
+            assert facilities.facility_of(name) == facility
+
+    def test_offered_sums_to_total(self, service):
+        nl, _ = service
+        timestamp = nl.grid.bin_start(0)
+        offered = nl.node_offered(timestamp)
+        total = nl.workload.rate_at(timestamp)
+        assert sum(offered.values()) == pytest.approx(total)
+
+    def test_record_bin_applies_spill(self, service):
+        nl, _ = service
+        nl.record_bin(0, {"nl-anycast-1": 0.9})
+        nl.record_bin(1, {})
+        assert nl.served[0, 0] == pytest.approx(nl.served[1, 0] * 0.1,
+                                                rel=0.05)
+        assert nl.served[0, 1] > 0
+
+    def test_normalized_series_median_is_one(self, service):
+        nl, _ = service
+        for b in range(nl.grid.n_bins):
+            nl.record_bin(b, {})
+        normalized = nl.normalized_series()
+        import numpy as np
+
+        assert np.median(normalized, axis=0) == pytest.approx(1.0)

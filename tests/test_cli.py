@@ -1,0 +1,85 @@
+"""Tests for the anycast-ddos command-line interface."""
+
+import pytest
+
+from repro.cli import ANALYSES, build_parser, main
+from repro.datasets import load_dataset
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.preset == "nov2015"
+        assert args.out == "events.npz"
+
+    def test_letters_parsing(self):
+        args = build_parser().parse_args(
+            ["simulate", "--letters", "b, k"]
+        )
+        assert args.letters == "b, k"
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["analyze", "x.npz", "--figure", "fig99"]
+            )
+
+
+class TestCommands:
+    def test_policies_command(self, capsys):
+        assert main(["policies", "--attack", "0.7"]) == 0
+        out = capsys.readouterr().out
+        assert "case 2" in out
+        assert "H = 4/4" in out
+
+    def test_simulate_then_analyze(self, tmp_path, capsys):
+        out = tmp_path / "mini.npz"
+        assert main([
+            "simulate", "--stubs", "100", "--vps", "60",
+            "--letters", "B,K", "--seed", "2", "--out", str(out),
+        ]) == 0
+        dataset = load_dataset(out)
+        assert sorted(dataset.letters) == ["B", "K"]
+
+        assert main(["analyze", str(out), "--figure", "fig3"]) == 0
+        rendered = capsys.readouterr().out
+        assert "Fig. 3" in rendered
+        assert "B" in rendered
+
+    def test_analyze_raw_skips_cleaning(self, tmp_path, capsys):
+        out = tmp_path / "mini.npz"
+        main([
+            "simulate", "--stubs", "100", "--vps", "60",
+            "--letters", "K", "--seed", "2", "--out", str(out),
+        ])
+        capsys.readouterr()
+        assert main([
+            "analyze", str(out), "--figure", "table2", "--raw",
+        ]) == 0
+        output = capsys.readouterr()
+        assert "cleaned" not in output.err
+        assert "Table 2" in output.out
+
+    def test_june_preset(self, tmp_path):
+        out = tmp_path / "june.npz"
+        assert main([
+            "simulate", "--preset", "june2016", "--stubs", "100",
+            "--vps", "60", "--letters", "K", "--out", str(out),
+        ]) == 0
+        dataset = load_dataset(out)
+        assert dataset.grid.start != 1448841600  # not the 2015 window
+
+    @pytest.mark.parametrize("figure", ANALYSES)
+    def test_every_analysis_renders(self, tmp_path, capsys, figure):
+        out = tmp_path / "mini.npz"
+        main([
+            "simulate", "--stubs", "120", "--vps", "80",
+            "--seed", "2", "--out", str(out),
+        ])
+        capsys.readouterr()
+        assert main(["analyze", str(out), "--figure", figure]) == 0
+        assert capsys.readouterr().out.strip()

@@ -1,0 +1,68 @@
+"""Tests for the airport table backing site placement."""
+
+import pytest
+
+from repro.util import AIRPORTS, airport, codes_in_region
+from repro.util.airports import REGIONS, Airport
+from repro.util.geo import Location
+
+# Every site code named in the paper's figures must be placeable.
+PAPER_E_SITES = [
+    "AMS", "FRA", "LHR", "ARC", "CDG", "VIE", "QPG", "ORD", "KBP", "ZRH",
+    "IAD", "PAO", "WAW", "ATL", "BER", "SYD", "SEA", "NLV", "MIA", "NRT",
+    "TRN", "AKL", "MAN", "BUR", "LGA", "PER", "SNA", "LBA", "SIN", "DXB",
+    "KGL", "LAD",
+]
+PAPER_K_SITES = [
+    "AMS", "LHR", "FRA", "MIA", "VIE", "LED", "NRT", "MIL", "ZRH", "WAW",
+    "BNE", "PRG", "GVA", "ATH", "MKC", "RIX", "THR", "BUD", "KAE", "BEG",
+    "HEL", "PLX", "OVB", "POZ", "ABO", "AVN", "BCN", "REY", "DOH", "RNO",
+    "DEL",
+]
+
+
+class TestTable:
+    def test_all_paper_sites_present(self):
+        for code in PAPER_E_SITES + PAPER_K_SITES:
+            assert code in AIRPORTS, f"missing paper site code {code}"
+
+    def test_h_root_sites_present(self):
+        # H-Root: "north of Baltimore" and San Diego (section 3.2.1).
+        assert "BWI" in AIRPORTS
+        assert "SAN" in AIRPORTS
+
+    def test_table_is_large_enough_for_l_root(self):
+        # L-Root has 113 observed sites (Table 2); sites within one
+        # letter need distinct codes.
+        assert len(AIRPORTS) >= 113
+
+    def test_every_region_populated(self):
+        for region in REGIONS:
+            assert codes_in_region(region), f"region {region} empty"
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            airport("ZZZ")
+
+    def test_codes_in_region_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            codes_in_region("ANTARCTICA")
+
+    def test_europe_is_well_represented(self):
+        # The Atlas VP population is Europe-biased; the table must give
+        # the sampler plenty of European anchors.
+        assert len(codes_in_region("EU")) >= 30
+
+
+class TestAirportValidation:
+    def test_rejects_lowercase_code(self):
+        with pytest.raises(ValueError):
+            Airport("ams", "Amsterdam", Location(52.3, 4.8), "EU")
+
+    def test_rejects_bad_region(self):
+        with pytest.raises(ValueError):
+            Airport("AMS", "Amsterdam", Location(52.3, 4.8), "XX")
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            Airport("AMST", "Amsterdam", Location(52.3, 4.8), "EU")

@@ -1,0 +1,92 @@
+"""Tests for geographic distance and the RTT model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import (
+    Location,
+    airport,
+    haversine_km,
+    haversine_km_vec,
+    propagation_rtt_ms,
+    propagation_rtt_ms_vec,
+    rtt_between,
+)
+
+_coords = st.tuples(
+    st.floats(min_value=-90, max_value=90),
+    st.floats(min_value=-180, max_value=180),
+).map(lambda t: Location(*t))
+
+
+class TestLocation:
+    def test_rejects_bad_latitude(self):
+        with pytest.raises(ValueError):
+            Location(91, 0)
+
+    def test_rejects_bad_longitude(self):
+        with pytest.raises(ValueError):
+            Location(0, -181)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        here = Location(52.3, 4.8)
+        assert haversine_km(here, here) == 0.0
+
+    def test_known_distance_ams_lhr(self):
+        # Amsterdam to London is ~360 km.
+        dist = haversine_km(airport("AMS").location, airport("LHR").location)
+        assert 320 < dist < 420
+
+    def test_antipodal_distance(self):
+        dist = haversine_km(Location(0, 0), Location(0, 180))
+        assert dist == pytest.approx(np.pi * 6371.0, rel=1e-6)
+
+    def test_vectorised_matches_scalar(self):
+        a = airport("AMS").location
+        codes = ["LHR", "NRT", "SYD", "MIA"]
+        lats = np.array([airport(c).location.lat for c in codes])
+        lons = np.array([airport(c).location.lon for c in codes])
+        vec = haversine_km_vec(a.lat, a.lon, lats, lons)
+        for i, code in enumerate(codes):
+            assert vec[i] == pytest.approx(
+                haversine_km(a, airport(code).location)
+            )
+
+    @given(a=_coords, b=_coords)
+    def test_symmetry(self, a, b):
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a))
+
+    @given(a=_coords, b=_coords)
+    def test_bounded_by_half_circumference(self, a, b):
+        assert 0 <= haversine_km(a, b) <= np.pi * 6371.0 + 1e-6
+
+
+class TestRttModel:
+    def test_rtt_has_floor(self):
+        assert propagation_rtt_ms(0.0) == pytest.approx(8.0)
+
+    def test_rtt_monotone_in_distance(self):
+        assert propagation_rtt_ms(100) < propagation_rtt_ms(5000)
+
+    def test_transatlantic_rtt_plausible(self):
+        # Europe to US east coast should be ~80-120 ms in this model.
+        rtt = rtt_between(airport("AMS").location, airport("IAD").location)
+        assert 70 < rtt < 130
+
+    def test_europe_to_us_west_exceeds_us_east(self):
+        # The Fig. 4 signature: H-Root's shift from Baltimore to San
+        # Diego raises RTT as seen from (mostly-European) VPs.
+        ams = airport("AMS").location
+        east = rtt_between(ams, airport("BWI").location)
+        west = rtt_between(ams, airport("SAN").location)
+        assert west > east + 30
+
+    def test_vectorised_matches_scalar(self):
+        dists = np.array([0.0, 100.0, 4000.0])
+        vec = propagation_rtt_ms_vec(dists)
+        for i, d in enumerate(dists):
+            assert vec[i] == pytest.approx(propagation_rtt_ms(d))

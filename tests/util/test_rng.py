@@ -1,0 +1,50 @@
+"""Tests for the per-component RNG discipline."""
+
+import pytest
+
+from repro.util import RngFactory, component_rng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "atlas") == derive_seed(42, "atlas")
+
+    def test_label_changes_seed(self):
+        assert derive_seed(42, "atlas") != derive_seed(42, "attack")
+
+    def test_root_seed_changes_seed(self):
+        assert derive_seed(1, "atlas") != derive_seed(2, "atlas")
+
+    def test_rejects_negative_seed(self):
+        with pytest.raises(ValueError):
+            derive_seed(-1, "atlas")
+
+
+class TestComponentRng:
+    def test_streams_reproducible(self):
+        a = component_rng(7, "x").random(5)
+        b = component_rng(7, "x").random(5)
+        assert (a == b).all()
+
+    def test_streams_independent(self):
+        a = component_rng(7, "x").random(5)
+        b = component_rng(7, "y").random(5)
+        assert (a != b).any()
+
+
+class TestRngFactory:
+    def test_rejects_duplicate_label(self):
+        factory = RngFactory(seed=3)
+        factory.get("atlas.probes")
+        with pytest.raises(ValueError):
+            factory.get("atlas.probes")
+
+    def test_rejects_negative_seed(self):
+        with pytest.raises(ValueError):
+            RngFactory(seed=-5)
+
+    def test_matches_component_rng(self):
+        factory = RngFactory(seed=11)
+        assert (
+            factory.get("a").random(3) == component_rng(11, "a").random(3)
+        ).all()

@@ -1,0 +1,45 @@
+"""Tests for traffic unit conversions against the paper's numbers."""
+
+import pytest
+
+from repro.util import (
+    EVENT_QUERY_WIRE_BYTES_NOV30,
+    EVENT_RESPONSE_WIRE_BYTES,
+    gbps,
+    mqps,
+    qps_from_mqps,
+    wire_bytes,
+)
+
+
+class TestConversions:
+    def test_mqps_roundtrip(self):
+        assert qps_from_mqps(mqps(5_120_000)) == pytest.approx(5_120_000)
+
+    def test_wire_bytes_adds_headers(self):
+        # Section 3.1: 44/45-byte payloads + 40 bytes of headers give
+        # the confirmed 84/85-byte query packets.
+        assert wire_bytes(44) == EVENT_QUERY_WIRE_BYTES_NOV30
+
+    def test_wire_bytes_rejects_negative(self):
+        with pytest.raises(ValueError):
+            wire_bytes(-1)
+
+    def test_gbps_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            gbps(1000, -5)
+
+    def test_a_root_attack_bitrate_matches_table3(self):
+        # Table 3: A-Root's 5.12 Mq/s of 84-byte queries = 3.44 Gb/s.
+        rate = gbps(qps_from_mqps(5.12), EVENT_QUERY_WIRE_BYTES_NOV30)
+        assert rate == pytest.approx(3.44, abs=0.01)
+
+    def test_a_root_response_bitrate_matches_table3(self):
+        # Table 3: A-Root's 3.84 Mq/s of ~493-byte responses = 15.13 Gb/s.
+        rate = gbps(qps_from_mqps(3.84), 493)
+        assert rate == pytest.approx(15.13, abs=0.03)
+
+    def test_upper_bound_reply_traffic_near_151_gbps(self):
+        # Section 3.1 / Table 3: 38.37 Mq/s of responses = ~151 Gb/s.
+        rate = gbps(qps_from_mqps(38.37), EVENT_RESPONSE_WIRE_BYTES)
+        assert rate == pytest.approx(151.6, abs=1.0)
