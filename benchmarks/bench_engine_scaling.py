@@ -1,0 +1,33 @@
+"""Wall-time scaling of the simulation engine (fast-path acceptance).
+
+Times :func:`repro.scenario.engine.simulate` end-to-end over a grid of
+scenario sizes.  ``scripts/bench_report.py`` runs the same grid
+standalone and records the numbers in ``BENCH_engine.json`` so the
+speedup of the epoch-vectorized fast path is tracked in-repo.
+"""
+
+import pytest
+
+from repro import ScenarioConfig, simulate
+
+SIZES = [
+    (200, 300),
+    (200, 1500),
+    (600, 300),
+    (600, 1500),
+]
+
+
+@pytest.mark.parametrize("n_stubs,n_vps", SIZES)
+def test_engine_scaling(benchmark, n_stubs, n_vps):
+    result = benchmark.pedantic(
+        lambda: simulate(
+            ScenarioConfig(seed=1, n_stubs=n_stubs, n_vps=n_vps)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(f"  simulate(stubs={n_stubs}, vps={n_vps}): "
+          f"{result.grid.n_bins} bins, {len(result.letters)} letters")
+    assert result.truth

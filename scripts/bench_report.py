@@ -1,0 +1,96 @@
+"""Record engine wall times in BENCH_engine.json.
+
+Runs the same size grid as ``benchmarks/bench_engine_scaling.py`` plus
+the acceptance scenario (seed=1, 300 stubs, 500 VPs) and writes the
+results to ``BENCH_engine.json`` at the repo root.  Pass ``--baseline
+SECONDS`` to record a pre-change wall time for the acceptance scenario
+alongside the measured one (the speedup is derived from the pair).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_report.py [--baseline 13.75]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.engine import simulate
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: (n_stubs, n_vps) grid mirrored by benchmarks/bench_engine_scaling.py.
+SCALING_SIZES = [
+    (200, 300),
+    (200, 1500),
+    (600, 300),
+    (600, 1500),
+]
+
+#: The PR acceptance scenario.
+ACCEPTANCE = {"seed": 1, "n_stubs": 300, "n_vps": 500}
+
+
+def time_simulate(**kwargs) -> float:
+    """Wall time of one full simulate() call, in seconds."""
+    start = time.perf_counter()
+    simulate(ScenarioConfig(**kwargs))
+    return time.perf_counter() - start
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        type=float,
+        default=None,
+        help="pre-change wall time (s) of the acceptance scenario",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_engine.json",
+        help="where to write the report",
+    )
+    args = parser.parse_args()
+
+    report: dict = {
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "scaling": [],
+    }
+
+    for n_stubs, n_vps in SCALING_SIZES:
+        wall = time_simulate(seed=1, n_stubs=n_stubs, n_vps=n_vps)
+        report["scaling"].append(
+            {"n_stubs": n_stubs, "n_vps": n_vps, "wall_s": round(wall, 3)}
+        )
+        print(f"stubs={n_stubs:4d} vps={n_vps:4d}: {wall:6.2f}s")
+
+    wall = time_simulate(**ACCEPTANCE)
+    acceptance = {**ACCEPTANCE, "wall_s": round(wall, 3)}
+    if args.baseline is not None:
+        acceptance["baseline_wall_s"] = args.baseline
+        acceptance["speedup"] = round(args.baseline / wall, 2)
+    report["acceptance"] = acceptance
+    print(
+        f"acceptance {ACCEPTANCE}: {wall:.2f}s"
+        + (
+            f" ({args.baseline / wall:.2f}x vs {args.baseline}s baseline)"
+            if args.baseline is not None
+            else ""
+        )
+    )
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

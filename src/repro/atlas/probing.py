@@ -15,6 +15,18 @@ engine samples what every vantage point would observe:
 Hijacked VPs (section 2.4.1) are answered by a third party regardless
 of the letter's state: a non-matching reply with a very short RTT.
 A-Root's 30-minute probing cadence leaves 2 of each 3 bins unprobed.
+
+Performance architecture: the engine *records* each bin's conditions
+(:meth:`LetterProber.record_bin`, cheap array stores) and the actual
+sampling happens in one batched pass at :meth:`LetterProber.finish`.
+Everything that depends only on the routing epoch -- VP catchments,
+probe-cadence gathers, balanced server assignment, baseline RTT
+gathers -- is precomputed once per ``(table.version, cadence phase)``
+and reused across all bins of that epoch; per-site server-behaviour
+multipliers are precomputed tables indexed by ``(site, server)``.
+Bins are still sampled in ascending order with the exact draw sizes
+and call sequence of the original per-bin code, so seeded results are
+bit-identical to the pre-batched implementation.
 """
 
 from __future__ import annotations
@@ -34,10 +46,10 @@ from ..datasets.observations import (
 from ..netsim.bgp import RoutingTable
 from ..rootdns.deployment import LetterDeployment
 from ..rootdns.servers import (
-    observed_servers,
     server_delay_multipliers,
     server_loss_multipliers,
 )
+from ..rootdns.sites import ServerBehavior
 from ..util.geo import haversine_km_vec, propagation_rtt_ms_vec
 from ..util.timegrid import ATLAS_TIMEOUT_MS, TimeGrid
 
@@ -69,6 +81,20 @@ class SiteBinConditions:
             self.loss.shape == self.delay_ms.shape == self.overloaded.shape
         ):
             raise ValueError("condition arrays misaligned")
+
+
+@dataclass(slots=True)
+class _EpochGathers:
+    """Catchment-dependent gathers shared by all bins of one
+    ``(routing version, probe-cadence phase)`` combination."""
+
+    hijacked_idx: np.ndarray   # VPs probed this phase and hijacked
+    unrouted_idx: np.ndarray   # probed, healthy, no route -> timeout
+    routed_idx: np.ndarray     # probed, healthy, routed
+    sites: np.ndarray          # site per routed VP
+    balanced: np.ndarray       # hash-balanced server per routed VP
+    base_rtt: np.ndarray       # baseline RTT per routed VP
+    any_probed: bool
 
 
 class LetterProber:
@@ -124,6 +150,27 @@ class LetterProber:
             [s.n_servers for s in deployment.spec.sites], dtype=np.int64
         )
 
+        # Per-site server-behaviour tables, padded to the widest site:
+        # row i scales loss/delay for queries answered at site i's
+        # server j+1 while the site is overloaded (rows are all-ones
+        # when not overloaded).  SHED_TO_ONE redirection is handled
+        # via ``shed_flags`` plus the per-bin shed-server snapshot.
+        max_servers = int(self.n_servers.max())
+        self._over_loss = np.ones((n_sites, max_servers))
+        self._over_delay = np.ones((n_sites, max_servers))
+        self._shed_flags = np.zeros(n_sites, dtype=bool)
+        for i, spec in enumerate(deployment.spec.sites):
+            k = spec.n_servers
+            self._over_loss[i, :k] = server_loss_multipliers(
+                spec.server_behavior, spec.code, k, overloaded=True
+            )
+            self._over_delay[i, :k] = server_delay_multipliers(
+                spec.server_behavior, spec.code, k, overloaded=True
+            )
+            self._shed_flags[i] = (
+                spec.server_behavior is ServerBehavior.SHED_TO_ONE
+            )
+
         # Output matrices.
         self.site_idx = np.full(
             (grid.n_bins, n_vps), RESP_NOT_PROBED, dtype=np.int16
@@ -131,12 +178,27 @@ class LetterProber:
         self.rtt_ms = np.full((grid.n_bins, n_vps), np.nan, dtype=np.float32)
         self.server = np.zeros((grid.n_bins, n_vps), dtype=np.int16)
 
+        # Deferred per-bin conditions, filled by record_bin and
+        # consumed in one batched pass by finish().
+        self._cond_loss = np.zeros((grid.n_bins, n_sites))
+        self._cond_delay = np.zeros((grid.n_bins, n_sites))
+        self._cond_over = np.zeros((grid.n_bins, n_sites), dtype=bool)
+        self._shed_of_bin = np.ones((grid.n_bins, n_sites), dtype=np.int64)
+        self._version_of_bin = np.zeros(grid.n_bins, dtype=np.int64)
+        self._recorded = np.zeros(grid.n_bins, dtype=bool)
+        self._tables: dict[int, RoutingTable] = {}
+        self._flushed = False
+
         self._catchment_cache: dict[int, np.ndarray] = {}
+        self._gather_cache: dict[tuple[int, int], _EpochGathers] = {}
 
     def _vp_site_indices(self, table: RoutingTable) -> np.ndarray:
-        """Site index per VP (-1 when the VP's AS has no route)."""
-        key = id(table)
-        cached = self._catchment_cache.get(key)
+        """Site index per VP (-1 when the VP's AS has no route).
+
+        Keyed on ``table.version`` (stable across table reuse, never
+        aliased like ``id()``).
+        """
+        cached = self._catchment_cache.get(table.version)
         if cached is not None:
             return cached
         code_to_idx = {c: i for i, c in enumerate(self.site_codes)}
@@ -147,111 +209,169 @@ class LetterProber:
         result = np.array(
             [asn_site[int(a)] for a in self.vps.asns], dtype=np.int64
         )
-        self._catchment_cache[key] = result
+        self._catchment_cache[table.version] = result
         return result
 
-    def sample_bin(
+    def record_bin(
         self,
         bin_index: int,
         table: RoutingTable,
         conditions: SiteBinConditions,
     ) -> None:
-        """Fill in one bin's observations for every VP."""
-        n_vps = len(self.vps)
+        """Record one bin's conditions for the batched sampling pass.
+
+        Snapshots everything time-varying (conditions, the shed-server
+        rotation state) so the deferred pass reproduces exactly what
+        immediate sampling would have seen.
+        """
+        if self._flushed:
+            raise RuntimeError("prober already finished")
+        self._tables.setdefault(table.version, table)
+        self._version_of_bin[bin_index] = table.version
+        self._cond_loss[bin_index] = conditions.loss
+        self._cond_delay[bin_index] = conditions.delay_ms
+        self._cond_over[bin_index] = conditions.overloaded
+        states = self.deployment.states
+        self._shed_of_bin[bin_index] = [
+            states[c].shed_server for c in self.site_codes
+        ]
+        self._recorded[bin_index] = True
+
+    def _epoch_gathers(self, version: int, phase: int) -> _EpochGathers:
+        """Catchment/cadence gathers for one (routing epoch, phase)."""
+        key = (version, phase)
+        cached = self._gather_cache.get(key)
+        if cached is not None:
+            return cached
         probed = (
-            (bin_index + self.probe_phase) % self.bins_per_probe == 0
+            (phase + self.probe_phase) % self.bins_per_probe == 0
         )
-        if not probed.any():
-            return
-
-        out_site = np.full(n_vps, RESP_NOT_PROBED, dtype=np.int16)
-        out_rtt = np.full(n_vps, np.nan, dtype=np.float32)
-        out_server = np.zeros(n_vps, dtype=np.int16)
-
-        vp_site = self._vp_site_indices(table)
+        vp_site = self._vp_site_indices(self._tables[version])
+        hijacked = probed & self.vps.hijacked
         active = probed & ~self.vps.hijacked
         routed = active & (vp_site >= 0)
+        routed_idx = np.flatnonzero(routed)
+        sites = vp_site[routed_idx]
+        gathers = _EpochGathers(
+            hijacked_idx=np.flatnonzero(hijacked),
+            unrouted_idx=np.flatnonzero(active & (vp_site < 0)),
+            routed_idx=routed_idx,
+            sites=sites,
+            balanced=self.vp_hashes[routed_idx] % self.n_servers[sites] + 1,
+            base_rtt=self.base_rtt[routed_idx, sites],
+            any_probed=bool(probed.any()),
+        )
+        self._gather_cache[key] = gathers
+        return gathers
+
+    def _sample_recorded_bin(self, b: int) -> None:
+        """Sample one recorded bin (batched path).
+
+        Matches the original immediate-mode sampling draw for draw:
+        the RNG call sequence and sizes are identical, so outputs are
+        bit-identical.
+        """
+        g = self._epoch_gathers(
+            int(self._version_of_bin[b]), b % self.bins_per_probe
+        )
+        if not g.any_probed:
+            return
+        rng = self.rng
+        out_site = self.site_idx[b]
+        out_rtt = self.rtt_ms[b]
+        out_server = self.server[b]
 
         # Hijacked VPs: local bogus answer, fast, always "up".
-        hijacked = probed & self.vps.hijacked
-        out_site[hijacked] = RESP_BOGUS
-        out_rtt[hijacked] = HIJACK_RTT_MS * (
+        out_site[g.hijacked_idx] = RESP_BOGUS
+        out_rtt[g.hijacked_idx] = HIJACK_RTT_MS * (
             1.0
-            + self.rng.normal(0.0, 0.1, int(hijacked.sum())).clip(-0.3, 0.3)
+            + rng.normal(0.0, 0.1, g.hijacked_idx.size).clip(-0.3, 0.3)
         )
 
         # Unrouted VPs: no path to any site -> timeout.
-        out_site[active & (vp_site < 0)] = RESP_TIMEOUT
+        out_site[g.unrouted_idx] = RESP_TIMEOUT
 
-        if routed.any():
-            sites = vp_site[routed]
-            # Server selection per site behaviour.
-            servers = np.empty(sites.size, dtype=np.int64)
-            loss = conditions.loss[sites].copy()
-            delay = conditions.delay_ms[sites].copy()
-            for idx in np.unique(sites):
-                spec = self.deployment.spec.sites[idx]
-                state = self.deployment.states[spec.code]
-                mask = sites == idx
-                overloaded = bool(conditions.overloaded[idx])
-                chosen = observed_servers(
-                    spec.server_behavior,
-                    spec.n_servers,
-                    self.vp_hashes[routed][mask],
-                    overloaded,
-                    state.shed_server,
-                )
-                servers[mask] = chosen
-                loss_mult = server_loss_multipliers(
-                    spec.server_behavior, spec.code, spec.n_servers,
-                    overloaded,
-                )
-                delay_mult = server_delay_multipliers(
-                    spec.server_behavior, spec.code, spec.n_servers,
-                    overloaded,
-                )
-                loss[mask] = np.clip(
-                    loss[mask] * loss_mult[chosen - 1], 0.0, 1.0
-                )
-                delay[mask] = delay[mask] * delay_mult[chosen - 1]
-
-            fail_prob = np.clip(
-                loss + BASELINE_FAILURE_PROB, 0.0, 1.0
+        if g.routed_idx.size == 0:
+            return
+        sites = g.sites
+        over = self._cond_over[b]
+        shed_mask = over[sites] & self._shed_flags[sites]
+        if shed_mask.any():
+            shed = self._shed_of_bin[b]
+            shed_sites = np.unique(sites[shed_mask])
+            bad = (shed[shed_sites] < 1) | (
+                shed[shed_sites] > self.n_servers[shed_sites]
             )
-            # A bin fails only when every probe in it fails.
-            bin_fail_prob = fail_prob**self.probes_per_bin
-            failed = self.rng.random(sites.size) < bin_fail_prob
-            jitter = np.exp(
-                self.rng.normal(0.0, RTT_JITTER_SIGMA, sites.size)
-            )
-            rtts = (
-                self.base_rtt[np.flatnonzero(routed), sites] * jitter + delay
-            )
-            timed_out = rtts > ATLAS_TIMEOUT_MS
+            if bad.any():
+                i = int(shed_sites[np.flatnonzero(bad)[0]])
+                raise ValueError(
+                    f"shed server {int(shed[i])} out of range"
+                    f" 1..{int(self.n_servers[i])}"
+                )
+            chosen = np.where(shed_mask, shed[sites], g.balanced)
+        else:
+            chosen = g.balanced
 
-            site_result = sites.astype(np.int16)
-            site_result[failed] = np.where(
-                self.rng.random(int(failed.sum())) < ERROR_GIVEN_FAILURE,
-                RESP_ERROR,
-                RESP_TIMEOUT,
-            ).astype(np.int16)
-            site_result[timed_out & ~failed] = RESP_TIMEOUT
+        # Server-behaviour multipliers: table lookup instead of a
+        # per-unique-site python loop.
+        over_r = over[sites]
+        loss = self._cond_loss[b][sites]
+        delay = self._cond_delay[b][sites]
+        loss = np.clip(
+            loss * np.where(
+                over_r, self._over_loss[sites, chosen - 1], 1.0
+            ),
+            0.0,
+            1.0,
+        )
+        delay = delay * np.where(
+            over_r, self._over_delay[sites, chosen - 1], 1.0
+        )
 
-            ok = site_result >= 0
-            rtt_result = np.where(ok, rtts, np.nan).astype(np.float32)
-            server_result = np.where(ok, servers, 0).astype(np.int16)
+        fail_prob = np.clip(
+            loss + BASELINE_FAILURE_PROB, 0.0, 1.0
+        )
+        # A bin fails only when every probe in it fails.
+        bin_fail_prob = fail_prob**self.probes_per_bin
+        failed = rng.random(sites.size) < bin_fail_prob
+        jitter = np.exp(
+            rng.normal(0.0, RTT_JITTER_SIGMA, sites.size)
+        )
+        rtts = g.base_rtt * jitter + delay
+        timed_out = rtts > ATLAS_TIMEOUT_MS
 
-            routed_idx = np.flatnonzero(routed)
-            out_site[routed_idx] = site_result
-            out_rtt[routed_idx] = rtt_result
-            out_server[routed_idx] = server_result
+        site_result = sites.astype(np.int16)
+        site_result[failed] = np.where(
+            rng.random(int(failed.sum())) < ERROR_GIVEN_FAILURE,
+            RESP_ERROR,
+            RESP_TIMEOUT,
+        ).astype(np.int16)
+        site_result[timed_out & ~failed] = RESP_TIMEOUT
 
-        self.site_idx[bin_index] = out_site
-        self.rtt_ms[bin_index] = out_rtt
-        self.server[bin_index] = out_server
+        ok = site_result >= 0
+        out_site[g.routed_idx] = site_result
+        out_rtt[g.routed_idx] = np.where(ok, rtts, np.nan).astype(
+            np.float32
+        )
+        out_server[g.routed_idx] = np.where(ok, chosen, 0).astype(
+            np.int16
+        )
+
+    def flush(self) -> None:
+        """Run the batched sampling pass over all recorded bins.
+
+        Bins are sampled in ascending order so the seeded RNG sequence
+        matches immediate per-bin sampling exactly.
+        """
+        if self._flushed:
+            return
+        for b in np.flatnonzero(self._recorded):
+            self._sample_recorded_bin(int(b))
+        self._flushed = True
 
     def finish(self) -> LetterObservations:
-        """Package the filled matrices."""
+        """Run any pending sampling and package the filled matrices."""
+        self.flush()
         return LetterObservations(
             letter=self.letter,
             site_codes=self.site_codes,

@@ -29,7 +29,6 @@ import numpy as np
 from ..netsim.bgp import RoutingTable
 from ..netsim.topology import Topology
 from ..util.airports import airport
-from ..util.geo import haversine_km
 
 #: Default hotspot volume shares; about two thirds of the traffic,
 #: matching the "top 200 sources sent 68 %" concentration.
@@ -117,6 +116,21 @@ class Botnet:
             shares[site] = shares.get(site, 0.0) + float(weight)
         return shares
 
+    def site_share_vector(
+        self, table: RoutingTable, site_index: dict[str, int]
+    ) -> np.ndarray:
+        """Per-site attack shares as an array indexed by *site_index*.
+
+        Computed from :meth:`load_shares_by_site` (same accumulation
+        order, so values are bit-identical to the dict variant); the
+        engine caches one vector per routing-table version and turns
+        the per-bin share lookup into pure array arithmetic.
+        """
+        vector = np.zeros(len(site_index), dtype=np.float64)
+        for site, share in self.load_shares_by_site(table).items():
+            vector[site_index[site]] = share
+        return vector
+
 
 def build_botnet(
     topology: Topology, config: BotnetConfig, rng: np.random.Generator
@@ -128,20 +142,18 @@ def build_botnet(
 
     for metro, share in sorted(config.hotspots.items()):
         center = airport(metro).location
+        distances = topology.stub_distances(center)
         nearby = [
-            asn
-            for asn in topology.stub_asns
-            if haversine_km(topology.graph.node(asn).location, center)
-            <= config.hotspot_radius_km
+            topology.stub_asns[i]
+            for i in np.flatnonzero(distances <= config.hotspot_radius_km)
         ]
         if not nearby:
             # Fall back to the closest stubs if the metro is sparse.
-            nearby = sorted(
-                topology.stub_asns,
-                key=lambda a: haversine_km(
-                    topology.graph.node(a).location, center
-                ),
-            )[: config.clusters_per_hotspot]
+            order = np.argsort(distances, kind="stable")
+            nearby = [
+                topology.stub_asns[i]
+                for i in order[: config.clusters_per_hotspot]
+            ]
         chosen = rng.choice(
             np.asarray(nearby, dtype=np.int64),
             size=min(config.clusters_per_hotspot, len(nearby)),

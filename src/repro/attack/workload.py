@@ -87,6 +87,25 @@ def legit_shares_by_site(
     return shares
 
 
+def legit_share_vector(
+    table: RoutingTable,
+    stub_asns: list[int],
+    site_index: dict[str, int],
+) -> tuple[np.ndarray, float]:
+    """``(per-site share vector, total routed share)``.
+
+    Array variant of :func:`legit_shares_by_site` for the engine's
+    per-epoch cache.  The total is summed in the dict's insertion
+    order, keeping it bit-identical to ``sum(shares.values())`` on the
+    dict variant (the engine derives the unrouted fraction from it).
+    """
+    shares = legit_shares_by_site(table, stub_asns)
+    vector = np.zeros(len(site_index), dtype=np.float64)
+    for site, share in shares.items():
+        vector[site_index[site]] = share
+    return vector, sum(shares.values())
+
+
 def retry_spill(
     lost_legit_qps: dict[str, float], letters: list[str]
 ) -> dict[str, float]:

@@ -183,5 +183,6 @@ __all__ = [
     "sites_vs_resilience",
     "vp_timelines",
     "vps_per_site",
+    "withdrawal_assignment",
     "worst_responsiveness",
 ]

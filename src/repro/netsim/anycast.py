@@ -39,6 +39,7 @@ class AnycastPrefix:
             o.site: o.blocked_neighbors for o in origins
         }
         self._cache: dict[tuple, RoutingTable] = {}
+        self._current: RoutingTable | None = None
         self._change_log: list[RouteChangeRecord] = []
 
     @property
@@ -77,7 +78,18 @@ class AnycastPrefix:
         )
 
     def routing(self) -> RoutingTable:
-        """Best routes for the current announcement state (cached)."""
+        """Best routes for the current announcement state (cached).
+
+        The returned table carries a stable ``version`` token (see
+        :class:`~repro.netsim.bgp.RoutingTable`): recurring
+        announcement states return the *same* table object, so callers
+        can key their own caches on ``table.version``.  The current
+        table is additionally memoized until the next announce /
+        withdraw / block change, making per-bin ``routing()`` calls
+        O(1).
+        """
+        if self._current is not None:
+            return self._current
         key = self._state_key()
         table = self._cache.get(key)
         if table is None:
@@ -91,6 +103,7 @@ class AnycastPrefix:
                 else RoutingTable({})
             )
             self._cache[key] = table
+        self._current = table
         return table
 
     def set_announced(self, site: str, up: bool, timestamp: float) -> bool:
@@ -104,6 +117,7 @@ class AnycastPrefix:
             return False
         before = self.routing()
         self._announced[site] = up
+        self._current = None
         after = self.routing()
         changed = after.changes_from(before)
         if changed:
@@ -128,6 +142,7 @@ class AnycastPrefix:
             return False
         before = self.routing()
         self._blocked[site] = blocked
+        self._current = None
         after = self.routing()
         changed = after.changes_from(before)
         if changed:

@@ -12,7 +12,9 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from ..util.geo import Location
+import numpy as np
+
+from ..util.geo import Location, haversine_km_vec
 
 
 class Relationship(enum.Enum):
@@ -64,6 +66,17 @@ class ASGraph:
 
     _nodes: dict[int, AsNode] = field(default_factory=dict)
     _adjacency: dict[int, dict[int, Relationship]] = field(default_factory=dict)
+    #: Monotonic structure token: bumped on every node or link change,
+    #: so derived data (coordinate arrays, tie-break distance memos)
+    #: can key caches on it instead of object identity.
+    _version: int = 0
+    _coord_cache: tuple | None = None
+    _distance_cache: dict = field(default_factory=dict)
+
+    @property
+    def version(self) -> int:
+        """Monotonic token identifying the current graph structure."""
+        return self._version
 
     def add_as(self, node: AsNode) -> None:
         """Add an AS; re-adding an existing ASN is an error."""
@@ -71,6 +84,8 @@ class ASGraph:
             raise ValueError(f"AS {node.asn} already in graph")
         self._nodes[node.asn] = node
         self._adjacency[node.asn] = {}
+        self._version += 1
+        self._distance_cache.clear()
 
     def add_link(self, asn: int, neighbor: int, rel: Relationship) -> None:
         """Add a link; *rel* is *neighbor*'s role as seen from *asn*.
@@ -91,6 +106,50 @@ class ASGraph:
             )
         self._adjacency[asn][neighbor] = rel
         self._adjacency[neighbor][asn] = rel.inverse
+        self._version += 1
+
+    def coordinate_arrays(
+        self,
+    ) -> tuple[dict[int, int], np.ndarray, np.ndarray]:
+        """``(row_of_asn, lats, lons)`` over all ASes, cached per version.
+
+        Row order is insertion order; the cache is rebuilt whenever the
+        graph structure changes.
+        """
+        cache = self._coord_cache
+        if cache is not None and cache[0] == len(self._nodes):
+            return cache[1], cache[2], cache[3]
+        row_of = {asn: i for i, asn in enumerate(self._nodes)}
+        lats = np.array(
+            [n.location.lat for n in self._nodes.values()],
+            dtype=np.float64,
+        )
+        lons = np.array(
+            [n.location.lon for n in self._nodes.values()],
+            dtype=np.float64,
+        )
+        self._coord_cache = (len(self._nodes), row_of, lats, lons)
+        return row_of, lats, lons
+
+    def distance_row(
+        self, cache_key: int, location: Location, scale: float
+    ) -> np.ndarray:
+        """Distances (km × *scale*) from *location* to every AS.
+
+        Rows align with :meth:`coordinate_arrays`; memoized on
+        ``(node count, cache_key)`` so repeated propagations over a
+        stable graph reuse the same arrays.  *cache_key* must uniquely
+        identify ``(location, scale)`` -- callers pass the origin ASN.
+        """
+        key = (len(self._nodes), cache_key)
+        row = self._distance_cache.get(key)
+        if row is None:
+            _, lats, lons = self.coordinate_arrays()
+            row = haversine_km_vec(
+                lats, lons, location.lat, location.lon
+            ) * scale
+            self._distance_cache[key] = row
+        return row
 
     def node(self, asn: int) -> AsNode:
         """Look up one AS by number."""

@@ -24,11 +24,20 @@ which yields exactly the valley-free best routes and is deterministic.
 from __future__ import annotations
 
 import enum
+import itertools
 from collections import defaultdict
 from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
 
 from ..util.geo import Location, haversine_km
 from .asgraph import ASGraph, Relationship
+
+#: Process-wide monotonic source of :attr:`RoutingTable.version` tokens.
+#: Unlike ``id()``, a version is never reused after garbage collection,
+#: so it is safe to key long-lived caches on it.
+_TABLE_VERSIONS = itertools.count(1)
 
 
 class Scope(enum.Enum):
@@ -124,10 +133,19 @@ class Route:
 
 
 class RoutingTable:
-    """Best route per AS for one anycast prefix."""
+    """Best route per AS for one anycast prefix.
+
+    Every table carries a process-unique, monotonic :attr:`version`
+    token assigned at construction.  Cached tables (see
+    :class:`~repro.netsim.anycast.AnycastPrefix`) keep their version
+    across reuse, so ``version`` is the correct cache key for any
+    derived data (catchment arrays, share vectors) -- unlike
+    ``id(table)``, which can alias once a table is garbage collected.
+    """
 
     def __init__(self, routes: dict[int, Route]) -> None:
         self._routes = routes
+        self.version = next(_TABLE_VERSIONS)
 
     def route(self, asn: int) -> Route | None:
         """The best route of *asn*, or ``None`` if unreachable."""
@@ -137,6 +155,23 @@ class RoutingTable:
         """The anycast site *asn*'s traffic reaches, or ``None``."""
         route = self._routes.get(asn)
         return None if route is None else route.site
+
+    def sites_of(
+        self, asns: Iterable[int], site_index: Mapping[str, int]
+    ) -> np.ndarray:
+        """Vectorized catchment lookup over *asns*.
+
+        Returns an ``int16`` array of site indices (per *site_index*),
+        with ``-1`` for ASes holding no route.
+        """
+        asns = np.asarray(asns, dtype=np.int64)
+        out = np.full(asns.size, -1, dtype=np.int16)
+        get = self._routes.get
+        for i, asn in enumerate(asns.tolist()):
+            route = get(asn)
+            if route is not None:
+                out[i] = site_index[route.site]
+        return out
 
     def catchments(self) -> dict[str, set[int]]:
         """Site -> set of ASes routed to it."""
@@ -154,11 +189,16 @@ class RoutingTable:
 
         A change of site, of path, or gain/loss of reachability all
         count -- this mirrors what a BGP collector peer sees as update
-        activity (paper section 3.4.1).
+        activity (paper section 3.4.1).  The union of both key sets is
+        walked lazily (no temporary sets are materialized).
         """
         changed = set()
-        for asn in set(self._routes) | set(previous._routes):
-            if self._routes.get(asn) != previous._routes.get(asn):
+        prev = previous._routes
+        for asn, route in self._routes.items():
+            if prev.get(asn) != route:
+                changed.add(asn)
+        for asn in prev:
+            if asn not in self._routes:
                 changed.add(asn)
         return changed
 
@@ -170,6 +210,8 @@ def _geo_tiebreak(graph: ASGraph, asn: int, origin: Origin) -> float:
     """Effective distance from *asn* to the origin site (0 if unknown).
 
     The origin's richness discount shrinks its effective distance.
+    Kept as the scalar reference implementation; :func:`propagate` uses
+    precomputed per-origin distance rows instead.
     """
     if origin.location is None:
         return 0.0
@@ -185,6 +227,24 @@ def propagate(graph: ASGraph, origins: list[Origin]) -> RoutingTable:
     for origin in origins:
         if origin.asn not in graph:
             raise KeyError(f"origin AS {origin.asn} not in graph")
+
+    # Tie-break distances, precomputed per origin over all ASes in one
+    # vectorized pass and memoized on the graph across re-propagations
+    # (policy loops re-announce the same origins every few bins).
+    row_of, _, _ = graph.coordinate_arrays()
+    dist_rows: dict[str, np.ndarray] = {
+        o.site: graph.distance_row(
+            o.asn, o.location, 1.0 - o.preference_discount
+        )
+        for o in origins
+        if o.location is not None
+    }
+
+    def tiebreak(asn: int, origin: Origin) -> float:
+        row = dist_rows.get(origin.site)
+        if row is None:
+            return 0.0
+        return float(row[row_of[asn]])
 
     best: dict[int, Route] = {}
 
@@ -230,7 +290,7 @@ def propagate(graph: ASGraph, origins: list[Origin]) -> RoutingTable:
                         origin_asn=route.origin_asn,
                         path=route.path + (provider,),
                         route_class=RouteClass.CUSTOMER,
-                        tiebreak=_geo_tiebreak(graph, provider, origin),
+                        tiebreak=tiebreak(provider, origin),
                     )
                 )
         frontier = []
@@ -258,7 +318,7 @@ def propagate(graph: ASGraph, origins: list[Origin]) -> RoutingTable:
                     origin_asn=route.origin_asn,
                     path=route.path + (peer,),
                     route_class=RouteClass.PEER,
-                    tiebreak=_geo_tiebreak(graph, peer, origin),
+                    tiebreak=tiebreak(peer, origin),
                 ),
             )
 
@@ -282,7 +342,7 @@ def propagate(graph: ASGraph, origins: list[Origin]) -> RoutingTable:
                         origin_asn=route.origin_asn,
                         path=route.path + (customer,),
                         route_class=RouteClass.PROVIDER,
-                        tiebreak=_geo_tiebreak(graph, customer, origin),
+                        tiebreak=tiebreak(customer, origin),
                     )
                 )
         frontier = []
@@ -319,7 +379,7 @@ def propagate(graph: ASGraph, origins: list[Origin]) -> RoutingTable:
                     origin_asn=origin.asn,
                     path=(origin.asn, neighbor),
                     route_class=neighbor_class,
-                    tiebreak=_geo_tiebreak(graph, neighbor, origin),
+                    tiebreak=tiebreak(neighbor, origin),
                 ),
             )
 

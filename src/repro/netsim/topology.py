@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..util.airports import AIRPORTS, airport
-from ..util.geo import Location, haversine_km
+from ..util.geo import Location, haversine_km_vec
 from .asgraph import ASGraph, AsNode, AsRole, Relationship
 from .bgp import Scope
 
@@ -100,24 +100,51 @@ class Topology:
         self.stub_asns: list[int] = []
         self.site_host_asns: dict[str, int] = {}
         self._next_site_asn = _SITE_ASN_BASE
+        self._transit_coords: tuple | None = None
+        self._stub_coords: tuple | None = None
+
+    def _coords(self, asns: list[int], cache: tuple | None) -> tuple:
+        """(n, lats, lons) for *asns*, rebuilt when the list grew."""
+        if cache is not None and cache[0] == len(asns):
+            return cache
+        lats = np.array(
+            [self.graph.node(a).location.lat for a in asns],
+            dtype=np.float64,
+        )
+        lons = np.array(
+            [self.graph.node(a).location.lon for a in asns],
+            dtype=np.float64,
+        )
+        return (len(asns), lats, lons)
+
+    def transit_distances(self, location: Location) -> np.ndarray:
+        """Distance from *location* to every transit AS (list order)."""
+        self._transit_coords = self._coords(
+            self.transit_asns, self._transit_coords
+        )
+        _, lats, lons = self._transit_coords
+        return haversine_km_vec(lats, lons, location.lat, location.lon)
+
+    def stub_distances(self, location: Location) -> np.ndarray:
+        """Distance from *location* to every stub AS (list order)."""
+        self._stub_coords = self._coords(self.stub_asns, self._stub_coords)
+        _, lats, lons = self._stub_coords
+        return haversine_km_vec(lats, lons, location.lat, location.lon)
 
     def nearest_transits(self, location: Location, k: int = 2) -> list[int]:
         """The *k* transit ASes closest to *location*."""
-        ranked = sorted(
-            self.transit_asns,
-            key=lambda asn: haversine_km(
-                self.graph.node(asn).location, location
-            ),
-        )
-        return ranked[:k]
+        distances = self.transit_distances(location)
+        order = np.argsort(distances, kind="stable")[:k]
+        return [self.transit_asns[i] for i in order]
 
     def stubs_within(self, location: Location, radius_km: float) -> list[int]:
         """Stub ASes within *radius_km* of *location*."""
+        if not self.stub_asns:
+            return []
+        distances = self.stub_distances(location)
         return [
-            asn
-            for asn in self.stub_asns
-            if haversine_km(self.graph.node(asn).location, location)
-            <= radius_km
+            self.stub_asns[i]
+            for i in np.flatnonzero(distances <= radius_km)
         ]
 
     def add_site_host(
@@ -170,12 +197,12 @@ class Topology:
                 if ixp_max_peers is not None
                 else self.config.local_site_max_peers
             )
-            nearby = sorted(
-                self.stubs_within(location, radius),
-                key=lambda s: haversine_km(
-                    self.graph.node(s).location, location
-                ),
-            )
+            distances = self.stub_distances(location)
+            within = np.flatnonzero(distances <= radius)
+            ranked = within[
+                np.argsort(distances[within], kind="stable")
+            ]
+            nearby = [self.stub_asns[i] for i in ranked]
             for stub in nearby[:max_peers]:
                 self.graph.add_link(asn, stub, Relationship.PEER)
         self.site_host_asns[site_label] = asn

@@ -47,9 +47,31 @@ class LetterDeployment:
         self.topology = topology
         self.site_order = [s.code for s in spec.sites]
         self.site_index = {c: i for i, c in enumerate(self.site_order)}
+        #: Facility labels in site order, precomputed for the engine's
+        #: per-bin spillover bookkeeping.
+        self.site_labels = [s.label(spec.letter) for s in spec.sites]
         self.states = {s.code: SiteState.initial(s) for s in spec.sites}
         self.host_asns: dict[str, int] = {}
         self.policy_log: list[PolicyEvent] = []
+        self._capacity_vector = np.array(
+            [s.capacity_qps for s in spec.sites], dtype=np.float64
+        )
+        # Per-site thresholds for the quiet-bin fast path: only sites
+        # whose policy can actually react to overload participate.
+        self._fastpath_thresholds = np.array(
+            [
+                s.withdraw_threshold
+                if s.initially_announced
+                and s.policy in (
+                    SitePolicy.WITHDRAW, SitePolicy.PARTIAL_WITHDRAW
+                )
+                else np.inf
+                for s in spec.sites
+            ],
+            dtype=np.float64,
+        )
+        self._quiet_cache: tuple[int, bool] | None = None
+        self._announced_cache: tuple[int, np.ndarray] | None = None
 
         origins = []
         for site in spec.sites:
@@ -113,10 +135,13 @@ class LetterDeployment:
         return self.prefix.routing()
 
     def capacity_by_site(self) -> np.ndarray:
-        """Site capacities in site order."""
-        return np.array(
-            [s.capacity_qps for s in self.spec.sites], dtype=np.float64
-        )
+        """Site capacities in site order (a fresh copy)."""
+        return self._capacity_vector.copy()
+
+    @property
+    def capacity_vector(self) -> np.ndarray:
+        """Cached site capacities in site order; treat as read-only."""
+        return self._capacity_vector
 
     def buffer_caps(self, default_ms: float) -> np.ndarray:
         """Per-site queueing-delay ceilings in site order."""
@@ -129,10 +154,46 @@ class LetterDeployment:
         )
 
     def announced_mask(self) -> np.ndarray:
-        """Boolean mask over site order: currently announced?"""
-        return np.array(
+        """Boolean mask over site order: currently announced?
+
+        Memoized per routing-table version (announcement state and
+        routing version change together); treat as read-only.
+        """
+        version = self.prefix.routing().version
+        cached = self._announced_cache
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        mask = np.array(
             [self.prefix.is_announced(c) for c in self.site_order]
         )
+        self._announced_cache = (version, mask)
+        return mask
+
+    def _is_quiet(self) -> bool:
+        """Whether every site is in its normal announcement state.
+
+        Quiet means: every primary announced and fully exported, every
+        standby down.  In that state ``apply_policies`` with sub-
+        threshold utilisations is a no-op, so the engine's per-bin call
+        can return immediately.  Memoized per routing-table version.
+        """
+        version = self.prefix.routing().version
+        cached = self._quiet_cache
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        quiet = True
+        for code in self.site_order:
+            state = self.states[code]
+            up = self.prefix.is_announced(code)
+            if state.spec.initially_announced:
+                if not up or state.partial:
+                    quiet = False
+                    break
+            elif up:
+                quiet = False
+                break
+        self._quiet_cache = (version, quiet)
+        return quiet
 
     def _blocked_set_for_partial(self, code: str) -> frozenset[int]:
         """Neighbors a partially withdrawing site stops exporting to.
@@ -145,17 +206,31 @@ class LetterDeployment:
 
     def apply_policies(
         self,
-        utilisation_by_site: dict[str, float],
+        utilisation_by_site: dict[str, float] | np.ndarray,
         letter_under_attack: bool,
         timestamp: float,
     ) -> bool:
         """Run one control-loop step; returns whether routing changed.
 
         *utilisation_by_site* is each announced site's offered/capacity
-        for the last bin.  Withdrawn sites see no traffic; their
-        recovery is driven by the letter-wide attack signal (operators
-        re-enable sites once the event subsides).
+        for the last bin -- either a ``{code: rho}`` dict or an array
+        in site order (the engine's fast path).  Withdrawn sites see no
+        traffic; their recovery is driven by the letter-wide attack
+        signal (operators re-enable sites once the event subsides).
         """
+        if isinstance(utilisation_by_site, np.ndarray):
+            rho_vector = utilisation_by_site
+            # Quiet-bin fast path: every site in its normal state and
+            # nobody over a reaction threshold -> the loop below would
+            # be a no-op, so skip it (the common case outside events).
+            if self._is_quiet() and not (
+                rho_vector > self._fastpath_thresholds
+            ).any():
+                return False
+            utilisation_by_site = {
+                code: float(rho_vector[i])
+                for i, code in enumerate(self.site_order)
+            }
         changed = False
         any_withdrawn_primary = False
 

@@ -30,7 +30,7 @@ from ..attack.botnet import Botnet, build_botnet
 from ..attack.events import active_event, attack_rate
 from ..attack.workload import (
     BaselineWorkload,
-    legit_shares_by_site,
+    legit_share_vector,
     retry_spill,
 )
 from ..bgpmon.collector import BgpCollectors, build_collectors
@@ -81,6 +81,22 @@ def window_dates(grid: TimeGrid) -> tuple[list[str], list[str]]:
         for i in range(7, 0, -1)
     ]
     return days, baseline
+
+
+@dataclass(slots=True)
+class _EpochData:
+    """Per-(letter, routing epoch) precomputed arrays.
+
+    Everything here depends only on the routing table, so it is
+    computed once per distinct ``table.version`` a letter visits and
+    reused by every bin of that epoch; the per-bin work in pass 1
+    reduces to scalar-times-vector arithmetic.
+    """
+
+    epoch: int                # index into LetterTruth.stub_site_by_epoch
+    bot_share: np.ndarray     # attack share per site (site order)
+    legit_share: np.ndarray   # legitimate share per site (site order)
+    legit_total: float        # routed legitimate share (<= 1)
 
 
 @dataclass(slots=True)
@@ -259,8 +275,6 @@ def simulate(config: ScenarioConfig) -> ScenarioResult:
         )
         for letter in letters
     }
-    stub_index = {asn: i for i, asn in enumerate(topology.stub_asns)}
-    epoch_tables: dict[str, dict[int, int]] = {L: {} for L in letters}
     epoch_catchments: dict[str, list[np.ndarray]] = {
         L: [] for L in letters
     }
@@ -270,8 +284,16 @@ def simulate(config: ScenarioConfig) -> ScenarioResult:
         for letter in letters
     }
 
-    bot_share_cache: dict[tuple[str, int], dict[str, float]] = {}
-    legit_share_cache: dict[tuple[str, int], dict[str, float]] = {}
+    # Per-(letter, routing version) precomputed share/catchment arrays;
+    # versions are stable tokens (unlike id(), which the GC can alias),
+    # so entries stay valid for the whole run and recurring routing
+    # states (before/during/after each event) hit the cache.
+    epoch_cache: dict[tuple[str, int], _EpochData] = {}
+    buffer_caps = {
+        letter: deployments[letter].buffer_caps(config.overload.buffer_ms)
+        for letter in letters
+    }
+    qname_sizes: dict[str, int] = {}
     spill: dict[str, float] = {letter: 0.0 for letter in letters}
     duplicate_ratio = 1.0 - config.botnet.tail_share
 
@@ -289,57 +311,39 @@ def simulate(config: ScenarioConfig) -> ScenarioResult:
         for letter in letters:
             dep = deployments[letter]
             table = dep.routing()
-            key = (letter, id(table))
-            bot_shares = bot_share_cache.get(key)
-            if bot_shares is None:
-                bot_shares = botnet.load_shares_by_site(table)
-                bot_share_cache[key] = bot_shares
-            legit_shares = legit_share_cache.get(key)
-            if legit_shares is None:
-                legit_shares = legit_shares_by_site(
-                    table, topology.stub_asns
+            key = (letter, table.version)
+            ed = epoch_cache.get(key)
+            if ed is None:
+                legit_share, legit_total = legit_share_vector(
+                    table, topology.stub_asns, dep.site_index
                 )
-                legit_share_cache[key] = legit_shares
-
-            epoch = epoch_tables[letter].get(id(table))
-            if epoch is None:
-                epoch = len(epoch_catchments[letter])
-                epoch_tables[letter][id(table)] = epoch
-                code_idx = {
-                    c: i
-                    for i, c in enumerate(deployments[letter].site_order)
-                }
-                catchment = np.full(
-                    len(topology.stub_asns), -1, dtype=np.int16
+                ed = _EpochData(
+                    epoch=len(epoch_catchments[letter]),
+                    bot_share=botnet.site_share_vector(
+                        table, dep.site_index
+                    ),
+                    legit_share=legit_share,
+                    legit_total=legit_total,
                 )
-                for asn, i in stub_index.items():
-                    site = table.site_of(asn)
-                    if site is not None:
-                        catchment[i] = code_idx[site]
-                epoch_catchments[letter].append(catchment)
-            truth[letter].epoch_of_bin[b] = epoch
+                epoch_catchments[letter].append(
+                    table.sites_of(topology.stub_asns, dep.site_index)
+                )
+                epoch_cache[key] = ed
+            truth[letter].epoch_of_bin[b] = ed.epoch
 
             attack_qps = attack_rate(config.events, letter, tc)
             legit_qps = workloads[letter].rate_at(tc)
             spill_qps = spill[letter]
 
-            codes = dep.site_order
-            attack_site = np.array(
-                [attack_qps * bot_shares.get(c, 0.0) for c in codes]
-            )
-            legit_site = np.array(
-                [
-                    (legit_qps + spill_qps) * legit_shares.get(c, 0.0)
-                    for c in codes
-                ]
-            )
+            attack_site = attack_qps * ed.bot_share
+            legit_site = (legit_qps + spill_qps) * ed.legit_share
             offered = attack_site + legit_site
-            for i, code in enumerate(codes):
-                if offered[i] > 0:
-                    label = dep.spec.site(code).label(letter)
-                    offered_by_label[label] = float(offered[i])
+            labels = dep.site_labels
+            for i in np.flatnonzero(offered > 0):
+                offered_by_label[labels[i]] = float(offered[i])
             per_letter[letter] = {
                 "table": table,
+                "ed": ed,
                 "attack_site": attack_site,
                 "legit_site": legit_site,
                 "offered": offered,
@@ -360,17 +364,15 @@ def simulate(config: ScenarioConfig) -> ScenarioResult:
             dep = deployments[letter]
             data = per_letter[letter]
             codes = dep.site_order
-            capacity = dep.capacity_by_site()
+            capacity = dep.capacity_vector
             offered = data["offered"]
             rho, loss, delay = config.overload.evaluate(offered, capacity)
-            delay = np.minimum(
-                delay, dep.buffer_caps(config.overload.buffer_ms)
-            )
+            delay = np.minimum(delay, buffer_caps[letter])
 
             extra = np.array(
                 [
-                    facility_extra.get(dep.spec.site(c).label(letter), 0.0)
-                    for c in codes
+                    facility_extra.get(label, 0.0)
+                    for label in dep.site_labels
                 ]
             )
             combined_loss = 1.0 - (1.0 - loss) * (1.0 - extra)
@@ -381,7 +383,7 @@ def simulate(config: ScenarioConfig) -> ScenarioResult:
                 delay_ms=delay,
                 overloaded=overloaded,
             )
-            probers[letter].sample_bin(b, data["table"], conditions)
+            probers[letter].record_bin(b, data["table"], conditions)
 
             t = truth[letter]
             t.offered_qps[b] = offered
@@ -408,7 +410,10 @@ def simulate(config: ScenarioConfig) -> ScenarioResult:
             qname_payload = None
             resp_payload = None
             if event is not None and data["attack_qps"] > 0:
-                qname_payload = make_query(0, event.qname).wire_size
+                qname_payload = qname_sizes.get(event.qname)
+                if qname_payload is None:
+                    qname_payload = make_query(0, event.qname).wire_size
+                    qname_sizes[event.qname] = qname_payload
                 resp_payload = event.response_wire_bytes - 40
             acc.add_bin(
                 legit_accepted=legit_accepted * (1.0 - spill_fraction),
@@ -424,12 +429,7 @@ def simulate(config: ScenarioConfig) -> ScenarioResult:
             lost_legit = float(
                 (data["legit_site"] * combined_loss).sum()
             )
-            unrouted = 1.0 - sum(
-                v
-                for k, v in legit_share_cache[
-                    (letter, id(data["table"]))
-                ].items()
-            )
+            unrouted = 1.0 - data["ed"].legit_total
             lost_legit += max(0.0, unrouted) * legit_offered
             new_spill_sources[letter] = lost_legit
 
@@ -442,11 +442,8 @@ def simulate(config: ScenarioConfig) -> ScenarioResult:
                 else None
             )
             if controller is None:
-                rho_by_site = {
-                    code: float(rho[i]) for i, code in enumerate(codes)
-                }
                 dep.apply_policies(
-                    rho_by_site,
+                    rho,
                     letter_under_attack=data["attack_qps"] > 0,
                     timestamp=float(ts + grid.bin_seconds),
                 )

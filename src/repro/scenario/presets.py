@@ -13,7 +13,7 @@ from __future__ import annotations
 import dataclasses
 
 from ..attack.botnet import BotnetConfig
-from ..attack.events import NOV2015_EVENTS, AttackEvent
+from ..attack.events import AttackEvent
 from ..util.timegrid import Interval, utc
 from .config import ScenarioConfig
 

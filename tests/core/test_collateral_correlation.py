@@ -1,6 +1,5 @@
 """Tests for collateral damage (Figs. 14-15) and the §3.2.1 R^2."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

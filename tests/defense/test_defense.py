@@ -1,6 +1,5 @@
 """Tests for the automated-defense controllers and evaluation."""
 
-import numpy as np
 import pytest
 
 from repro import ScenarioConfig, simulate

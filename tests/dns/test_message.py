@@ -10,7 +10,6 @@ from repro.dns import (
     MessageError,
     QClass,
     QType,
-    Question,
     Rcode,
     ResourceRecord,
     decode_txt_rdata,

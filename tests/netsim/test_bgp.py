@@ -9,6 +9,7 @@ from repro.netsim import (
     AsNode,
     Origin,
     Relationship,
+    Route,
     RouteClass,
     RoutingTable,
     Scope,
@@ -181,6 +182,44 @@ class TestRoutingTable:
         assert full.changes_from(empty) == full.reachable_asns()
         assert empty.changes_from(full) == full.reachable_asns()
         assert full.changes_from(full) == set()
+
+    def test_changes_from_covers_every_transition_kind(self):
+        # Hand-built tables exercising each delta the lazy union walk
+        # must catch: loss of reachability (ASN only in previous),
+        # gain (only in current), site change, path change, and an
+        # identical route that must NOT count.
+        def route(site, path, cls=RouteClass.CUSTOMER):
+            return Route(
+                site=site,
+                origin_asn=path[0],
+                path=tuple(path),
+                route_class=cls,
+                tiebreak=0.0,
+            )
+
+        previous = RoutingTable({
+            1: route("X", (1,)),            # lost below
+            2: route("X", (1, 2)),          # site change below
+            3: route("X", (1, 2, 3)),       # path change below
+            4: route("X", (1, 4)),          # unchanged
+        })
+        current = RoutingTable({
+            2: route("Y", (6, 2)),
+            3: route("X", (1, 4, 3)),
+            4: route("X", (1, 4)),
+            5: route("Y", (6, 5)),          # gained
+        })
+        assert current.changes_from(previous) == {1, 2, 3, 5}
+        assert previous.changes_from(current) == {1, 2, 3, 5}
+
+    def test_version_tokens_are_unique_and_monotonic(self):
+        graph = _chain_graph()
+        a = propagate(graph, [Origin(site="X", asn=1)])
+        b = propagate(graph, [Origin(site="X", asn=1)])
+        c = RoutingTable({})
+        versions = [a.version, b.version, c.version]
+        assert len(set(versions)) == 3
+        assert versions == sorted(versions)
 
 
 def _valley_free(graph, path):

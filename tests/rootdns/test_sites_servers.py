@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.netsim import Scope
 from repro.rootdns import (
     ServerBehavior,
     SitePolicy,
