@@ -1,0 +1,96 @@
+"""Determinism gate: a faulted scenario must reproduce bit for bit.
+
+Runs one scenario carrying every fault type twice with the same seed
+and compares every simulated output array (truth, Atlas, RSSAC,
+BGPmon, .nl) plus the quality report exactly.  Any diff means the
+fault machinery leaked nondeterminism into the engine -- the CI
+determinism job fails on it.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_determinism.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from make_golden import result_arrays
+from repro.faults import (
+    BgpSessionReset,
+    ControllerOutage,
+    FaultPlan,
+    PeerChurn,
+    RssacOutage,
+    SiteFailure,
+    VpDropout,
+)
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.engine import simulate
+from repro.util.timegrid import EVENT_WINDOW_START as W
+
+HOUR = 3600
+
+#: One of everything: the plan exercises every fault resolver and both
+#: randomized scopes (VP dropout, peer churn).
+FAULT_PLAN = FaultPlan(
+    specs=(
+        SiteFailure(
+            letter="K", site="AMS", start=W + 12 * HOUR,
+            duration_s=2 * HOUR, severity=1.0,
+        ),
+        BgpSessionReset(
+            letter="K", site="LHR", start=W + 15 * HOUR, duration_s=1800,
+        ),
+        VpDropout(start=W + 18 * HOUR, duration_s=HOUR, fraction=0.5),
+        ControllerOutage(start=W + 21 * HOUR, duration_s=1800),
+        PeerChurn(start=W + 6 * HOUR, duration_s=2 * HOUR, fraction=0.5),
+        RssacOutage(letter="K", start=W, duration_s=86_400),
+    )
+)
+
+
+def faulted_config() -> ScenarioConfig:
+    return ScenarioConfig(
+        seed=7,
+        n_stubs=100,
+        n_vps=60,
+        letters=("A", "F", "H", "K"),
+        include_nl=True,
+        faults=FAULT_PLAN,
+    )
+
+
+def main() -> int:
+    first = simulate(faulted_config())
+    second = simulate(faulted_config())
+
+    a, b = result_arrays(first), result_arrays(second)
+    mismatches = []
+    for name in sorted(a):
+        if not np.array_equal(a[name], b[name], equal_nan=True):
+            mismatches.append(name)
+    if first.quality != second.quality:
+        mismatches.append("quality")
+    if [r.date for L in first.letters for r in first.rssac[L]] != [
+        r.date for L in second.letters for r in second.rssac[L]
+    ]:
+        mismatches.append("rssac dates")
+
+    if mismatches:
+        print("DETERMINISM FAILURE: outputs differ between identical runs")
+        for name in mismatches:
+            print(f"  - {name}")
+        return 1
+
+    print(
+        f"determinism ok: {len(a)} arrays bit-identical across two "
+        f"faulted runs ({len(first.quality)} quality flag(s))"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

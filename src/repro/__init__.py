@@ -16,6 +16,17 @@ Quick start::
     print(reachability_figure(result.atlas).render())
 """
 
+from .faults import (
+    BgpSessionReset,
+    ControllerOutage,
+    DataQuality,
+    FaultPlan,
+    PeerChurn,
+    QualityFlag,
+    RssacOutage,
+    SiteFailure,
+    VpDropout,
+)
 from .scenario import (
     ScenarioConfig,
     ScenarioResult,
@@ -28,8 +39,17 @@ from .scenario import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BgpSessionReset",
+    "ControllerOutage",
+    "DataQuality",
+    "FaultPlan",
+    "PeerChurn",
+    "QualityFlag",
+    "RssacOutage",
     "ScenarioConfig",
     "ScenarioResult",
+    "SiteFailure",
+    "VpDropout",
     "__version__",
     "june2016_config",
     "nov2015_config",

@@ -17,7 +17,7 @@ import numpy as np
 
 from ..netsim.anycast import AnycastPrefix
 from ..netsim.topology import Topology
-from ..util.timegrid import TimeGrid
+from ..util.timegrid import Interval, TimeGrid
 
 #: Mean BGP updates a collector peer logs per best-path change
 #: (path exploration / MRAI batching).
@@ -56,17 +56,26 @@ class BgpCollectors:
         prefix: AnycastPrefix,
         grid: TimeGrid,
         rng: np.random.Generator,
+        peer_outages: tuple[tuple[Interval, frozenset[int]], ...] = (),
     ) -> np.ndarray:
         """Updates observed per bin for one letter's prefix (Fig. 9).
 
         Routing transitions outside the grid (e.g. pre-simulation
-        standby withdrawals) are ignored.
+        standby withdrawals) are ignored.  *peer_outages* lists
+        ``(interval, down_peer_asns)`` windows (collector-peer churn,
+        ``repro.faults``): a peer that is down when a transition
+        happens does not observe it, so the counted churn is partial
+        exactly as a real collector fleet's would be.
         """
         counts = np.zeros(grid.n_bins, dtype=np.float64)
         for record in prefix.change_log():
             if not grid.start <= record.timestamp < grid.end:
                 continue
-            affected = len(self._peer_set & record.changed_asns)
+            peers = self._peer_set
+            for interval, down in peer_outages:
+                if interval.contains(record.timestamp):
+                    peers = peers - down
+            affected = len(peers & record.changed_asns)
             if affected == 0:
                 continue
             updates = rng.poisson(UPDATES_PER_CHANGE, size=affected).sum()

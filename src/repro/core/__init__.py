@@ -48,10 +48,12 @@ from .efficiency import (
     efficiency_table,
     inflation_series,
 )
+from ..faults.quality import DataQuality, QualityFlag, probe_gap_flags
 from .event_size import (
     EVENT_DURATIONS,
     EventSizeBounds,
     LetterEventSize,
+    MissingReportError,
     estimate_bounds,
     event_size_table,
     letter_event_size,
@@ -118,6 +120,7 @@ __all__ = [
     "BOGUS_FRACTION_THRESHOLD",
     "CleaningReport",
     "CollateralSite",
+    "DataQuality",
     "EVENT_DURATIONS",
     "EfficiencyStats",
     "EventSizeBounds",
@@ -125,6 +128,8 @@ __all__ = [
     "LetterEventSize",
     "LinkGroup",
     "MIN_DIP_FRACTION",
+    "MissingReportError",
+    "QualityFlag",
     "STABILITY_THRESHOLD",
     "Series",
     "SeriesBundle",
@@ -166,6 +171,7 @@ __all__ = [
     "observed_site_count",
     "observed_sites_table",
     "optimal_assignment",
+    "probe_gap_flags",
     "reachability_figure",
     "robust_baseline",
     "route_change_series",

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..datasets.observations import AtlasDataset
+from ..faults.quality import probe_gap_flags
 from .results import Series, SeriesBundle, TableResult
 
 #: Median-VP threshold below which per-site stats are unstable.
@@ -48,9 +49,15 @@ def observed_site_count(dataset: AtlasDataset, letter: str) -> int:
 
 
 def observed_sites_table(dataset: AtlasDataset) -> TableResult:
-    """Table 2's right column: observed sites per letter."""
+    """Table 2's right column: observed sites per letter.
+
+    Measurement gaps shrink what is observable; bins without any
+    probing VP are flagged on the result's ``quality`` so low
+    "observed" counts can be told apart from real withdrawals.
+    """
+    letters = sorted(dataset.letters)
     rows = []
-    for letter in sorted(dataset.letters):
+    for letter in letters:
         obs = dataset.letter(letter)
         rows.append(
             (letter, len(obs.site_codes), observed_site_count(dataset, letter))
@@ -59,6 +66,7 @@ def observed_sites_table(dataset: AtlasDataset) -> TableResult:
         title="Table 2: sites per letter (deployed vs observed)",
         headers=("letter", "deployed", "observed"),
         rows=tuple(rows),
+        quality=probe_gap_flags(dataset, letters, metric="catchments"),
     )
 
 
@@ -120,6 +128,7 @@ def site_minmax_table(dataset: AtlasDataset, letter: str) -> TableResult:
         title=f"Fig. 5: {letter}-Root site catchments (min/max vs median)",
         headers=("site", "median", "min/med", "max/med", "stability"),
         rows=tuple(rows),
+        quality=probe_gap_flags(dataset, [letter], metric="catchments"),
     )
 
 

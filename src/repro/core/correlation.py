@@ -14,6 +14,7 @@ import numpy as np
 from scipy import stats
 
 from ..datasets.observations import AtlasDataset
+from ..faults.quality import QualityFlag
 from .reachability import worst_responsiveness
 from .results import TableResult
 
@@ -28,6 +29,12 @@ class SitesResilienceFit:
     slope: float
     intercept: float
     r_squared: float
+    #: Degradation annotations (a NaN fit carries at least one flag).
+    quality: tuple[QualityFlag, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.quality)
 
 
 def sites_vs_resilience(
@@ -40,6 +47,11 @@ def sites_vs_resilience(
     *site_counts* maps letters to deployed site counts (Table 2).
     A-Root is excluded by default, as in the paper (its 30-minute
     probing cadence makes its dip unobservable).
+
+    With fewer than three usable letters (missing observations, heavy
+    exclusions) no line can be fit; the result degrades to NaN fit
+    parameters with a quality flag instead of raising, keeping the
+    per-letter worst-responsiveness numbers that do exist.
     """
     letters = [
         letter
@@ -47,7 +59,27 @@ def sites_vs_resilience(
         if letter in site_counts and letter not in exclude
     ]
     if len(letters) < 3:
-        raise ValueError("need at least three letters for a fit")
+        worst = tuple(
+            float(worst_responsiveness(dataset, letter))
+            for letter in letters
+        )
+        return SitesResilienceFit(
+            letters=tuple(letters),
+            site_counts=tuple(site_counts[letter] for letter in letters),
+            worst=worst,
+            slope=np.nan,
+            intercept=np.nan,
+            r_squared=np.nan,
+            quality=(
+                QualityFlag(
+                    metric="correlation",
+                    detail=(
+                        f"only {len(letters)} usable letter(s); need "
+                        "three for a fit -- R^2 is undefined"
+                    ),
+                ),
+            ),
+        )
     counts = np.array([site_counts[letter] for letter in letters])
     worst = np.array(
         [worst_responsiveness(dataset, letter) for letter in letters]
@@ -74,4 +106,5 @@ def correlation_table(fit: SitesResilienceFit) -> TableResult:
         title="Sites vs worst responsiveness (section 3.2.1)",
         headers=("letter", "sites", "worst/median"),
         rows=tuple(rows),
+        quality=fit.quality,
     )

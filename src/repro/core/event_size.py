@@ -20,9 +20,26 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..faults.quality import QualityFlag
 from ..rssac.reports import SIZE_BIN_WIDTH, DailyReport
 from ..util.units import HEADER_OVERHEAD_BYTES, gbps
 from .results import TableResult
+
+
+class MissingReportError(ValueError):
+    """A letter's RSSAC series lacks a required event-day report.
+
+    Subclasses :class:`ValueError` so callers that treated missing
+    days as invalid input keep working; :func:`event_size_table`
+    catches it to degrade gracefully instead.
+    """
+
+    def __init__(self, letter: str, dates: list[str]) -> None:
+        self.letter = letter
+        self.dates = dates
+        super().__init__(
+            f"{letter}: missing event-day reports: {dates}"
+        )
 
 #: Event durations in seconds, per event date (section 2.3).
 EVENT_DURATIONS = {"2015-11-30": 160 * 60.0, "2015-12-01": 60 * 60.0}
@@ -62,7 +79,8 @@ def split_reports(
     events = {r.date: r for r in reports if r.date in event_dates}
     missing = set(event_dates) - set(events)
     if missing:
-        raise ValueError(f"missing event-day reports: {sorted(missing)}")
+        letter = reports[0].letter if reports else "?"
+        raise MissingReportError(letter, sorted(missing))
     return baseline, events
 
 
@@ -90,6 +108,10 @@ def letter_event_size(
     if duration is None:
         raise ValueError(f"unknown event date {date!r}")
     baseline_reports, event_reports = split_reports(reports, event_dates)
+    if not baseline_reports:
+        raise MissingReportError(
+            reports[0].letter if reports else "?", ["all baseline days"]
+        )
     base_queries, base_uniques = robust_baseline(baseline_reports)
     base_responses = float(
         np.mean([r.responses for r in baseline_reports])
@@ -151,6 +173,12 @@ class EventSizeBounds:
     scaled_gbps: float
     upper_mqps: float
     upper_gbps: float
+    #: Degradation annotations (NaN bounds carry at least one flag).
+    quality: tuple[QualityFlag, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.quality)
 
 
 def estimate_bounds(
@@ -164,12 +192,30 @@ def estimate_bounds(
     Letters that were not attacked (L in the paper) are excluded.
     The upper bound assumes all attacked letters received the
     reference letter's rate (A-Root measured the entire event).
+
+    With no attacked-letter estimates at all (every attacked letter's
+    reports missing) the bounds degrade to NaN with a quality flag
+    rather than raising -- downstream tables still render.
     """
     attacked = [
         s for s in sizes if s.date == date and s.attacked
     ]
     if not attacked:
-        raise ValueError(f"no attacked-letter estimates for {date}")
+        return EventSizeBounds(
+            date=date,
+            lower_mqps=np.nan, lower_gbps=np.nan,
+            scaled_mqps=np.nan, scaled_gbps=np.nan,
+            upper_mqps=np.nan, upper_gbps=np.nan,
+            quality=(
+                QualityFlag(
+                    metric="event_size",
+                    detail=(
+                        f"no attacked-letter estimates for {date}; "
+                        "bounds are undefined"
+                    ),
+                ),
+            ),
+        )
     lower_mqps = sum(s.delta_queries_mqps for s in attacked)
     lower_gbps = sum(s.delta_queries_gbps for s in attacked)
     scale = n_attacked_letters / len(attacked)
@@ -195,16 +241,34 @@ def event_size_table(
     date: str,
     n_attacked_letters: int | None = None,
 ) -> TableResult:
-    """Table 3 for one event day, with bounds rows appended."""
+    """Table 3 for one event day, with bounds rows appended.
+
+    Letters whose report series lacks the event day (or enough
+    baseline days) are excluded from the table and flagged on the
+    result's ``quality`` instead of aborting the whole table.
+    """
     if n_attacked_letters is None:
         n_attacked_letters = len(attacked_letters)
     sizes = []
+    flags: list[QualityFlag] = []
     for letter in sorted(rssac):
-        sizes.append(
-            letter_event_size(
-                rssac[letter], date, attacked=letter in attacked_letters
+        try:
+            sizes.append(
+                letter_event_size(
+                    rssac[letter], date,
+                    attacked=letter in attacked_letters,
+                )
             )
-        )
+        except MissingReportError as exc:
+            flags.append(
+                QualityFlag(
+                    metric="event_size",
+                    letter=letter,
+                    detail=(
+                        f"excluded: missing reports for {exc.dates}"
+                    ),
+                )
+            )
     rows = [
         (
             s.letter + ("" if s.attacked else "*"),
@@ -219,6 +283,7 @@ def event_size_table(
         for s in sizes
     ]
     bounds = estimate_bounds(sizes, date, n_attacked_letters)
+    flags.extend(bounds.quality)
     rows.append(
         ("lower", round(bounds.lower_mqps, 2), round(bounds.lower_gbps, 2),
          "-", "-", "-", "-", "-")
@@ -239,4 +304,5 @@ def event_size_table(
             "dr Mq/s", "dr Gb/s", "base Mq/s",
         ),
         rows=tuple(rows),
+        quality=tuple(flags),
     )

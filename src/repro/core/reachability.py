@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..datasets.observations import AtlasDataset, RESP_NOT_PROBED
+from ..faults.quality import probe_gap_flags
 from .results import Series, SeriesBundle
 
 
@@ -34,7 +35,12 @@ def letter_reachability(
 def reachability_figure(
     dataset: AtlasDataset, letters: list[str] | None = None
 ) -> SeriesBundle:
-    """Figure 3: one reachability series per letter."""
+    """Figure 3: one reachability series per letter.
+
+    Bins where no VP probed a letter at all (controller outages,
+    fleet-wide dropout) yield zero-valued points and are flagged on
+    the bundle's ``quality`` rather than raising.
+    """
     if letters is None:
         letters = sorted(dataset.letters)
     return SeriesBundle(
@@ -42,6 +48,7 @@ def reachability_figure(
         series=tuple(
             letter_reachability(dataset, letter) for letter in letters
         ),
+        quality=probe_gap_flags(dataset, letters, metric="reachability"),
     )
 
 

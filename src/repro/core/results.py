@@ -12,6 +12,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..faults.quality import QualityFlag
+
 #: Characters used for the inline sparklines in rendered series.
 _SPARK = " .:-=+*#%@"
 
@@ -76,6 +78,9 @@ class SeriesBundle:
 
     title: str
     series: tuple[Series, ...]
+    #: Degradation annotations: which inputs were missing or partial
+    #: when this figure was computed (empty for clean data).
+    quality: tuple[QualityFlag, ...] = ()
 
     def get(self, name: str) -> Series:
         for s in self.series:
@@ -97,6 +102,8 @@ class SeriesBundle:
                 f"[{s.min():>10.1f} .. {s.max():>10.1f}]  "
                 f"{s.sparkline(width)}"
             )
+        for flag in self.quality:
+            lines.append(f"  ! {flag}")
         return "\n".join(lines)
 
 
@@ -107,6 +114,9 @@ class TableResult:
     title: str
     headers: tuple[str, ...]
     rows: tuple[tuple, ...] = field(default=())
+    #: Degradation annotations: which inputs were missing or partial
+    #: when this table was computed (empty for clean data).
+    quality: tuple[QualityFlag, ...] = ()
 
     def __post_init__(self) -> None:
         for row in self.rows:
@@ -158,4 +168,6 @@ class TableResult:
                     row[i].rjust(widths[i]) for i in range(len(row))
                 )
             )
+        for flag in self.quality:
+            lines.append(f"  ! {flag}")
         return "\n".join(lines)

@@ -1,6 +1,7 @@
 """Dataset containers and persistence."""
 
 from .io import (
+    CorruptRecordError,
     ProbeRecord,
     load_dataset,
     read_probe_records,
@@ -20,6 +21,7 @@ from .observations import (
 
 __all__ = [
     "AtlasDataset",
+    "CorruptRecordError",
     "LetterObservations",
     "MIN_FIRMWARE",
     "ProbeRecord",

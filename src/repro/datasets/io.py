@@ -112,8 +112,35 @@ def write_probe_records(
     return count
 
 
-def read_probe_records(path: str | Path) -> Iterator[ProbeRecord]:
-    """Stream records from an NDJSON file."""
+class CorruptRecordError(ValueError):
+    """One NDJSON line could not be parsed into a :class:`ProbeRecord`.
+
+    Carries the file and 1-based line number so a truncated download
+    or a disk-mangled archive can be located exactly.  Subclasses
+    :class:`ValueError` for callers that catch broadly.
+    """
+
+    def __init__(self, path: str | Path, line_no: int, reason: str) -> None:
+        self.path = str(path)
+        self.line_no = line_no
+        self.reason = reason
+        super().__init__(f"{path}:{line_no}: {reason}")
+
+
+def read_probe_records(
+    path: str | Path,
+    skip_corrupt: bool = False,
+    skipped: list[int] | None = None,
+) -> Iterator[ProbeRecord]:
+    """Stream records from an NDJSON file.
+
+    Corrupt lines -- invalid JSON, unknown fields, or field values a
+    :class:`ProbeRecord` rejects -- raise :class:`CorruptRecordError`
+    naming the file and line.  With ``skip_corrupt=True`` they are
+    skipped instead (real Atlas dumps routinely have a few); pass a
+    list as *skipped* to collect the 1-based line numbers that were
+    dropped, e.g. to flag the dataset as partial.
+    """
     with open(Path(path), encoding="utf-8") as handle:
         for line_no, line in enumerate(handle, start=1):
             line = line.strip()
@@ -121,8 +148,21 @@ def read_probe_records(path: str | Path) -> Iterator[ProbeRecord]:
                 continue
             try:
                 raw = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(
-                    f"{path}:{line_no}: invalid JSON: {exc}"
-                ) from exc
-            yield ProbeRecord(**raw)
+                if not isinstance(raw, dict):
+                    raise ValueError(
+                        f"expected a JSON object, got "
+                        f"{type(raw).__name__}"
+                    )
+                record = ProbeRecord(**raw)
+            except (ValueError, TypeError) as exc:
+                if skip_corrupt:
+                    if skipped is not None:
+                        skipped.append(line_no)
+                    continue
+                reason = (
+                    f"invalid JSON: {exc}"
+                    if isinstance(exc, json.JSONDecodeError)
+                    else f"invalid record: {exc}"
+                )
+                raise CorruptRecordError(path, line_no, reason) from exc
+            yield record

@@ -1,0 +1,35 @@
+"""Fault injection: incidental failure on top of the scripted events.
+
+Declare faults on :class:`~repro.scenario.config.ScenarioConfig` via a
+:class:`FaultPlan`; the engine applies them through
+:class:`~repro.faults.runtime.FaultRuntime` and reports what degraded
+via :class:`~repro.faults.quality.DataQuality` on the result.
+"""
+
+from .plan import (
+    BgpSessionReset,
+    ControllerOutage,
+    FaultPlan,
+    FaultSpec,
+    PeerChurn,
+    RssacOutage,
+    SiteFailure,
+    VpDropout,
+)
+from .quality import DataQuality, QualityFlag, probe_gap_flags
+from .runtime import FaultRuntime
+
+__all__ = [
+    "BgpSessionReset",
+    "ControllerOutage",
+    "DataQuality",
+    "FaultPlan",
+    "FaultRuntime",
+    "FaultSpec",
+    "PeerChurn",
+    "QualityFlag",
+    "RssacOutage",
+    "SiteFailure",
+    "VpDropout",
+    "probe_gap_flags",
+]

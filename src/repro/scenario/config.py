@@ -8,9 +8,10 @@ from ..atlas.vps import VpPopulationConfig
 from ..attack.botnet import BotnetConfig
 from ..attack.events import NOV2015_EVENTS, AttackEvent
 from ..bgpmon.collector import BgpmonConfig
+from ..faults.plan import FaultPlan
 from ..netsim.queueing import OverloadModel
 from ..netsim.topology import TopologyConfig
-from ..rootdns.letters import LetterSpec
+from ..rootdns.letters import LETTERS_SPEC, LetterSpec
 from ..util.timegrid import (
     EVENT_WINDOW_SECONDS,
     EVENT_WINDOW_START,
@@ -55,14 +56,43 @@ class ScenarioConfig:
     #: Per-letter defense controllers (repro.defense); letters not
     #: listed keep their built-in static policies.
     controllers: dict | None = None
+    #: Incidental-failure plan (repro.faults): VP dropout, site
+    #: hardware failures, BGP session resets, missing RSSAC days,
+    #: collector-peer churn.  The default empty plan is free and
+    #: leaves seeded outputs bit-identical to a fault-free engine.
+    faults: FaultPlan = field(default_factory=FaultPlan)
 
     def __post_init__(self) -> None:
         if self.n_stubs <= 0 or self.n_vps <= 0:
             raise ValueError("population sizes must be positive")
         if self.baseline_days < 1:
             raise ValueError("need at least one baseline day")
+        if self.window_seconds <= 0:
+            raise ValueError(
+                f"window_seconds must be positive, got {self.window_seconds}"
+            )
+        if self.bin_seconds <= 0:
+            raise ValueError(
+                f"bin_seconds must be positive, got {self.bin_seconds}"
+            )
         if self.letters is not None and not self.letters:
             raise ValueError("letters subset cannot be empty")
+        if self.letters is not None:
+            registry = (
+                self.custom_letters
+                if self.custom_letters is not None
+                else LETTERS_SPEC
+            )
+            for letter in self.letters:
+                if letter not in registry:
+                    raise ValueError(
+                        f"unknown letter {letter!r}: not in the effective "
+                        f"letter registry {sorted(registry)}"
+                    )
+        if not isinstance(self.faults, FaultPlan):
+            raise TypeError(
+                f"faults must be a FaultPlan, got {type(self.faults).__name__}"
+            )
 
     def grid(self) -> TimeGrid:
         """The analysis grid implied by the window settings."""

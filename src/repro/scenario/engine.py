@@ -36,6 +36,8 @@ from ..attack.workload import (
 from ..bgpmon.collector import BgpCollectors, build_collectors
 from ..datasets.observations import AtlasDataset, VantagePointTable
 from ..dns.message import make_query
+from ..faults.quality import DataQuality
+from ..faults.runtime import FaultRuntime
 from ..netsim.topology import Topology, build_topology
 from ..rootdns.deployment import LetterDeployment, build_deployments
 from ..rootdns.facility import FacilityRegistry
@@ -143,6 +145,9 @@ class ScenarioResult:
     nl: NlService | None
     duplicate_ratio: float = 0.0
     letters: list[str] = field(default_factory=list)
+    #: What degraded in this run (injected faults, missing reports);
+    #: empty means full fidelity.
+    quality: DataQuality = field(default_factory=DataQuality)
 
     def vps(self) -> VantagePointTable:
         return self.atlas.vps
@@ -242,6 +247,16 @@ def simulate(config: ScenarioConfig) -> ScenarioResult:
         if config.include_nl
         else None
     )
+    # An empty plan builds no runtime and draws no RNG stream, keeping
+    # fault-free runs bit-identical to the pre-fault engine.
+    faults = (
+        FaultRuntime(
+            config.faults, grid, deployments, collectors,
+            len(vps), rngs.get("faults"),
+        )
+        if config.faults
+        else None
+    )
 
     probers = {
         letter: LetterProber(
@@ -305,6 +320,11 @@ def simulate(config: ScenarioConfig) -> ScenarioResult:
         ]
         event = active_event(config.events, tc)
 
+        # Incidental failures scheduled for this bin (session resets
+        # flap announcements before the routing tables are read).
+        if faults is not None:
+            faults.apply_routing(b, float(ts))
+
         # --- Pass 1: offered load per site, across all letters. -------
         offered_by_label: dict[str, float] = {}
         per_letter: dict[str, dict] = {}
@@ -365,6 +385,8 @@ def simulate(config: ScenarioConfig) -> ScenarioResult:
             data = per_letter[letter]
             codes = dep.site_order
             capacity = dep.capacity_vector
+            if faults is not None:
+                capacity = faults.capacity(letter, b, capacity)
             offered = data["offered"]
             rho, loss, delay = config.overload.evaluate(offered, capacity)
             delay = np.minimum(delay, buffer_caps[letter])
@@ -464,6 +486,8 @@ def simulate(config: ScenarioConfig) -> ScenarioResult:
         vps=vps,
         letters={letter: probers[letter].finish() for letter in letters},
     )
+    if faults is not None:
+        faults.mask_atlas(atlas)
 
     for letter in letters:
         truth[letter].stub_site_by_epoch = np.stack(
@@ -490,11 +514,16 @@ def simulate(config: ScenarioConfig) -> ScenarioResult:
                 )
             )
         rssac[letter] = tuple(reports)
+    if faults is not None:
+        rssac = faults.filter_rssac(rssac)
 
     bgp_rng = rngs.get("bgpmon.updates")
     route_changes = {
         letter: collectors.route_changes_per_bin(
-            deployments[letter].prefix, grid, bgp_rng
+            deployments[letter].prefix,
+            grid,
+            bgp_rng,
+            peer_outages=faults.peer_outages if faults is not None else (),
         )
         for letter in letters
     }
@@ -514,4 +543,7 @@ def simulate(config: ScenarioConfig) -> ScenarioResult:
         nl=nl,
         duplicate_ratio=duplicate_ratio,
         letters=letters,
+        quality=(
+            faults.quality() if faults is not None else DataQuality()
+        ),
     )

@@ -95,9 +95,17 @@ class TestCorrelation:
         assert table.rows[-1][0] == "R^2"
         assert 0.0 <= table.rows[-1][2] <= 1.0
 
-    def test_needs_enough_letters(self, cleaned):
-        with pytest.raises(ValueError):
-            sites_vs_resilience(cleaned, {"B": 1, "H": 2})
+    def test_too_few_letters_degrades(self, cleaned):
+        import numpy as np
+
+        fit = sites_vs_resilience(cleaned, {"B": 1, "H": 2})
+        assert np.isnan(fit.slope)
+        assert np.isnan(fit.r_squared)
+        assert fit.degraded
+        assert fit.quality[0].metric == "correlation"
+        # The per-letter numbers that do exist are kept.
+        assert fit.letters == ("B", "H")
+        assert all(np.isfinite(w) for w in fit.worst)
 
     def test_extremes_match_architecture(self, fit):
         by_letter = dict(zip(fit.letters, fit.worst))

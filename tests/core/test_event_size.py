@@ -115,10 +115,14 @@ class TestBounds:
             sizes[0].delta_queries_mqps
         )
 
-    def test_no_attacked_rejected(self):
+    def test_no_attacked_degrades_to_nan(self):
         sizes = [letter_event_size(_reports("L"), "2015-11-30", False)]
-        with pytest.raises(ValueError):
-            estimate_bounds(sizes, "2015-11-30", 10)
+        bounds = estimate_bounds(sizes, "2015-11-30", 10)
+        assert np.isnan(bounds.lower_mqps)
+        assert np.isnan(bounds.scaled_mqps)
+        assert np.isnan(bounds.upper_gbps)
+        assert bounds.degraded
+        assert bounds.quality[0].metric == "event_size"
 
 
 class TestScenarioTable3:

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.datasets import (
+    CorruptRecordError,
     ProbeRecord,
     load_dataset,
     read_probe_records,
@@ -76,6 +77,44 @@ class TestProbeRecords:
         path.write_text('{"bad json\n')
         with pytest.raises(ValueError, match=":1:"):
             list(read_probe_records(path))
+
+    def test_corrupt_error_carries_location(self, tmp_path):
+        path = tmp_path / "probes.ndjson"
+        write_probe_records(self._records()[:1], path)
+        with open(path, "a") as handle:
+            handle.write("%% truncated garbage\n")
+        with pytest.raises(CorruptRecordError) as excinfo:
+            list(read_probe_records(path))
+        assert excinfo.value.line_no == 2
+        assert excinfo.value.path == str(path)
+
+    def test_unknown_field_is_corrupt(self, tmp_path):
+        path = tmp_path / "probes.ndjson"
+        path.write_text('{"vp_id": 1, "surprise": true}\n')
+        with pytest.raises(CorruptRecordError, match=":1:"):
+            list(read_probe_records(path))
+
+    def test_non_object_line_is_corrupt(self, tmp_path):
+        path = tmp_path / "probes.ndjson"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(CorruptRecordError, match="JSON object"):
+            list(read_probe_records(path))
+
+    def test_skip_corrupt_keeps_good_records(self, tmp_path):
+        path = tmp_path / "probes.ndjson"
+        write_probe_records(self._records()[:1], path)
+        with open(path, "a") as handle:
+            handle.write("not json at all\n")
+        write_probe_records(self._records()[1:], tmp_path / "rest.ndjson")
+        with open(tmp_path / "rest.ndjson") as rest:
+            with open(path, "a") as handle:
+                handle.write(rest.read())
+        skipped = []
+        loaded = list(
+            read_probe_records(path, skip_corrupt=True, skipped=skipped)
+        )
+        assert loaded == self._records()
+        assert skipped == [2]
 
     def test_reply_requires_rtt(self):
         with pytest.raises(ValueError):

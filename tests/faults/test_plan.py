@@ -1,0 +1,134 @@
+"""Tests for fault specs, plans, and quality annotations."""
+
+import pytest
+
+from repro.faults import (
+    BgpSessionReset,
+    DataQuality,
+    FaultPlan,
+    PeerChurn,
+    QualityFlag,
+    RssacOutage,
+    SiteFailure,
+    VpDropout,
+)
+
+
+class TestSpecValidation:
+    def test_intervals(self):
+        spec = VpDropout(start=1000, duration_s=600)
+        assert spec.interval.start == 1000
+        assert spec.interval.end == 1600
+
+    @pytest.mark.parametrize("duration", [0, -600])
+    def test_nonpositive_duration_rejected(self, duration):
+        with pytest.raises(ValueError, match="duration"):
+            VpDropout(start=0, duration_s=duration)
+        with pytest.raises(ValueError, match="duration"):
+            SiteFailure(letter="K", site="AMS", start=0, duration_s=duration)
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.1, 1.5])
+    def test_bad_fractions_rejected(self, fraction):
+        with pytest.raises(ValueError, match="fraction"):
+            VpDropout(start=0, duration_s=600, fraction=fraction)
+        with pytest.raises(ValueError, match="fraction"):
+            PeerChurn(start=0, duration_s=600, fraction=fraction)
+
+    def test_bad_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            SiteFailure(
+                letter="K", site="AMS", start=0, duration_s=600, severity=0.0
+            )
+
+    def test_empty_scope_rejected(self):
+        with pytest.raises(ValueError):
+            SiteFailure(letter="", site="AMS", start=0, duration_s=600)
+        with pytest.raises(ValueError):
+            BgpSessionReset(letter="K", site="", start=0)
+        with pytest.raises(ValueError):
+            RssacOutage(letter="", start=0)
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert len(FaultPlan()) == 0
+
+    def test_nonempty_plan_is_truthy(self):
+        plan = FaultPlan(specs=(VpDropout(start=0, duration_s=600),))
+        assert plan
+        assert len(plan) == 1
+
+    def test_rejects_non_specs(self):
+        with pytest.raises(TypeError, match="not a fault spec"):
+            FaultPlan(specs=("oops",))
+
+    def test_of_type_preserves_order(self):
+        a = VpDropout(start=0, duration_s=600)
+        b = SiteFailure(letter="K", site="AMS", start=0, duration_s=600)
+        c = VpDropout(start=1200, duration_s=600)
+        plan = FaultPlan(specs=(a, b, c))
+        assert plan.of_type(VpDropout) == (a, c)
+        assert plan.of_type(VpDropout, SiteFailure) == (a, b, c)
+
+    def test_letters(self):
+        plan = FaultPlan(
+            specs=(
+                SiteFailure(letter="K", site="AMS", start=0, duration_s=600),
+                RssacOutage(letter="A", start=0),
+                VpDropout(start=0, duration_s=600),
+            )
+        )
+        assert plan.letters() == frozenset({"K", "A"})
+
+
+class TestQualityFlag:
+    def test_needs_metric_and_detail(self):
+        with pytest.raises(ValueError):
+            QualityFlag(metric="", detail="x")
+        with pytest.raises(ValueError):
+            QualityFlag(metric="atlas", detail="")
+
+    def test_bad_bin_span_rejected(self):
+        with pytest.raises(ValueError):
+            QualityFlag(metric="atlas", detail="x", bins=(5, 2))
+        with pytest.raises(ValueError):
+            QualityFlag(metric="atlas", detail="x", bins=(-1, 2))
+
+    def test_str_rendering(self):
+        flag = QualityFlag(
+            metric="rssac", detail="report missing", letter="K", bins=(3, 9)
+        )
+        assert str(flag) == "[rssac] K [bins 3-9]: report missing"
+
+
+class TestDataQuality:
+    def _report(self):
+        return DataQuality(
+            flags=(
+                QualityFlag(metric="atlas", detail="dropout", bins=(1, 4)),
+                QualityFlag(metric="rssac", detail="missing", letter="K"),
+                QualityFlag(metric="rssac", detail="missing", letter="A"),
+            )
+        )
+
+    def test_empty_means_full_fidelity(self):
+        assert not DataQuality()
+        assert not DataQuality().degraded
+        assert "full fidelity" in DataQuality().describe()
+
+    def test_selectors(self):
+        q = self._report()
+        assert q.degraded
+        assert len(q.for_metric("rssac")) == 2
+        assert len(q.for_letter("K")) == 1
+        assert q.letters() == frozenset({"K", "A"})
+        assert q.metrics() == frozenset({"atlas", "rssac"})
+
+    def test_merged(self):
+        q = DataQuality(
+            flags=(QualityFlag(metric="truth", detail="site failed"),)
+        )
+        merged = q.merged(self._report())
+        assert len(merged) == 4
+        assert merged.metrics() == frozenset({"truth", "atlas", "rssac"})

@@ -86,6 +86,58 @@ class TestValidation:
             model.evaluate(np.array([1.0]), np.array([0.0]))
 
 
+class TestEdgeCases:
+    """Boundary behaviour the fault machinery leans on."""
+
+    def test_near_zero_capacity_black_holes(self, model):
+        # A failed site (repro.faults) keeps a 1e-6 residual capacity:
+        # the positive-capacity invariant holds and essentially every
+        # query is lost at the buffer ceiling.
+        capacity = 100_000.0 * 1e-6
+        loss = model.loss_fraction(50_000.0, capacity)
+        delay = model.queue_delay_ms(50_000.0, capacity)
+        assert 0.999 < loss < 1.0
+        assert model.buffer_ms * 0.999 < delay <= model.buffer_ms
+
+    def test_near_zero_capacity_no_load_no_loss(self, model):
+        assert model.loss_fraction(0.0, 1e-6) == 0.0
+
+    def test_loss_zero_exactly_at_knee(self, model):
+        # The early-loss ramp opens strictly above the knee.
+        capacity = 100_000.0
+        assert model.loss_fraction(model.loss_knee * capacity, capacity) == 0.0
+        assert model.loss_fraction(
+            (model.loss_knee + 1e-6) * capacity, capacity
+        ) > 0.0
+
+    def test_utilisation_exactly_at_overload_rho(self, model):
+        # The engine flags a site overloaded only strictly above
+        # OVERLOAD_RHO; at exactly that utilisation the model yields
+        # the saturation loss and the flag stays off.
+        from repro.scenario.engine import OVERLOAD_RHO
+
+        capacity = 100_000.0
+        rho, loss, _ = model.evaluate(
+            np.array([OVERLOAD_RHO * capacity]), np.array([capacity])
+        )
+        assert rho[0] == pytest.approx(OVERLOAD_RHO)
+        assert not (rho > OVERLOAD_RHO).any()
+        assert loss[0] == pytest.approx(1.0 - 1.0 / OVERLOAD_RHO)
+
+    def test_loss_clipped_to_unit_interval(self, model):
+        rhos = np.array([0.0, 0.95, 0.999999, 1.0, 1e9, np.inf])
+        losses = model._loss_from_rho(rhos)
+        assert (losses >= 0.0).all()
+        assert (losses <= 1.0).all()
+        assert losses[-1] == 1.0  # infinite overload loses everything
+
+    def test_delay_never_exceeds_buffer(self, model):
+        rhos = np.array([0.0, 0.5, 0.95, 0.99, 1.0, 100.0, 1e12])
+        delays = model._delay_from_rho(rhos)
+        assert (delays <= model.buffer_ms).all()
+        assert (delays >= 0.0).all()
+
+
 class TestVectorised:
     def test_matches_scalar(self, model):
         offered = np.array([0.0, 50_000.0, 99_000.0, 150_000.0, 10**7])

@@ -16,6 +16,30 @@ class TestConfig:
         with pytest.raises(ValueError):
             ScenarioConfig(baseline_days=0)
 
+    def test_window_validation_names_values(self):
+        with pytest.raises(ValueError, match="window_seconds.*0"):
+            ScenarioConfig(window_seconds=0)
+        with pytest.raises(ValueError, match="bin_seconds.*-600"):
+            ScenarioConfig(bin_seconds=-600)
+
+    def test_unknown_letter_names_registry(self):
+        with pytest.raises(ValueError, match="unknown letter 'ZZ'"):
+            ScenarioConfig(letters=("A", "ZZ"))
+
+    def test_letters_checked_against_custom_registry(self):
+        from repro.rootdns.letters import LETTERS_SPEC
+
+        custom = {"K": LETTERS_SPEC["K"]}
+        # Valid against the override...
+        ScenarioConfig(letters=("K",), custom_letters=custom)
+        # ...but canonical letters missing from it are rejected.
+        with pytest.raises(ValueError, match="unknown letter 'A'"):
+            ScenarioConfig(letters=("A",), custom_letters=custom)
+
+    def test_faults_field_type_checked(self):
+        with pytest.raises(TypeError, match="FaultPlan"):
+            ScenarioConfig(faults=("not-a-plan",))
+
     def test_subset_runs(self):
         result = simulate(
             ScenarioConfig(
