@@ -18,6 +18,7 @@ import sys
 import numpy as np
 
 from make_golden import result_arrays
+from repro.scenario.engine import ScenarioResult
 from repro.faults import (
     BgpSessionReset,
     ControllerOutage,
@@ -63,21 +64,35 @@ def faulted_config() -> ScenarioConfig:
     )
 
 
-def main() -> int:
-    first = simulate(faulted_config())
-    second = simulate(faulted_config())
+def compare_runs(first: ScenarioResult, second: ScenarioResult) -> list[str]:
+    """Names of every output that differs between two runs.
 
+    Empty means the runs are bit-identical across all simulated
+    arrays (truth, Atlas, RSSAC, BGPmon, .nl), the quality report,
+    and the published RSSAC report dates.  This is the diff logic the
+    CI determinism gate and ``tests/test_check_determinism.py`` share.
+    """
     a, b = result_arrays(first), result_arrays(second)
     mismatches = []
     for name in sorted(a):
-        if not np.array_equal(a[name], b[name], equal_nan=True):
+        if name not in b or not np.array_equal(
+            a[name], b[name], equal_nan=True
+        ):
             mismatches.append(name)
+    mismatches.extend(sorted(set(b) - set(a)))
     if first.quality != second.quality:
         mismatches.append("quality")
     if [r.date for L in first.letters for r in first.rssac[L]] != [
         r.date for L in second.letters for r in second.rssac[L]
     ]:
         mismatches.append("rssac dates")
+    return mismatches
+
+
+def main() -> int:
+    first = simulate(faulted_config())
+    second = simulate(faulted_config())
+    mismatches = compare_runs(first, second)
 
     if mismatches:
         print("DETERMINISM FAILURE: outputs differ between identical runs")
@@ -86,8 +101,9 @@ def main() -> int:
         return 1
 
     print(
-        f"determinism ok: {len(a)} arrays bit-identical across two "
-        f"faulted runs ({len(first.quality)} quality flag(s))"
+        f"determinism ok: {len(result_arrays(first))} arrays "
+        f"bit-identical across two faulted runs "
+        f"({len(first.quality)} quality flag(s))"
     )
     return 0
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""Wrapper for the repo's determinism/correctness linter.
+
+Equivalent to ``PYTHONPATH=src python -m repro.devtools.lint`` but
+runnable from anywhere without setting the path by hand::
+
+    python scripts/lint_repro.py            # lints src and tests
+    python scripts/lint_repro.py --format json src
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.devtools.lint import main  # noqa: E402
+
+if __name__ == "__main__":
+    os.chdir(REPO_ROOT)
+    sys.exit(main())

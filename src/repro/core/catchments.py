@@ -56,7 +56,7 @@ def observed_sites_table(dataset: AtlasDataset) -> TableResult:
     "observed" counts can be told apart from real withdrawals.
     """
     letters = sorted(dataset.letters)
-    rows = []
+    rows: list[tuple[object, ...]] = []
     for letter in letters:
         obs = dataset.letter(letter)
         rows.append(
@@ -113,7 +113,7 @@ def site_minmax(
 
 def site_minmax_table(dataset: AtlasDataset, letter: str) -> TableResult:
     """Fig. 5 as a table (normalised min/max per site)."""
-    rows = []
+    rows: list[tuple[object, ...]] = []
     for s in site_minmax(dataset, letter):
         rows.append(
             (
@@ -141,7 +141,7 @@ def site_timeseries(
     hours = dataset.grid.hours()
     medians = np.median(counts, axis=0)
     order = np.argsort(-medians, kind="stable")
-    series = []
+    series: list[Series] = []
     for i in order:
         median = medians[i]
         if stable_only and median < STABILITY_THRESHOLD:
@@ -177,7 +177,7 @@ def critical_episodes(
     """
     obs = dataset.letter(letter)
     counts = vps_per_site(dataset, letter)
-    result = {}
+    result: dict[str, np.ndarray] = {}
     for i, code in enumerate(obs.site_codes):
         median = float(np.median(counts[:, i]))
         if median < STABILITY_THRESHOLD:

@@ -20,7 +20,7 @@ import numpy as np
 
 from ..datasets.observations import AtlasDataset
 from ..scenario.nl import NlService
-from ..util.timegrid import EVENTS, TimeGrid
+from ..util.timegrid import EVENTS, Interval, TimeGrid
 from .catchments import STABILITY_THRESHOLD, vps_per_site
 from .results import Series, SeriesBundle
 
@@ -43,7 +43,7 @@ def collateral_sites(
     letter: str,
     min_dip: float = MIN_DIP_FRACTION,
     min_vps: int = STABILITY_THRESHOLD,
-    events: tuple = EVENTS,
+    events: tuple[Interval, ...] = EVENTS,
 ) -> list[CollateralSite]:
     """Fig. 14 candidates: sites of *letter* dipping during events."""
     obs = dataset.letter(letter)
@@ -51,7 +51,7 @@ def collateral_sites(
     event_mask = dataset.grid.event_mask(events)
     if not event_mask.any():
         raise ValueError("grid does not cover the event windows")
-    flagged = []
+    flagged: list[CollateralSite] = []
     for i, code in enumerate(obs.site_codes):
         median = float(np.median(counts[:, i]))
         if median < min_vps:
@@ -79,7 +79,7 @@ def collateral_figure(
     counts = vps_per_site(dataset, letter)
     obs = dataset.letter(letter)
     hours = dataset.grid.hours()
-    series = []
+    series: list[Series] = []
     for site in flagged:
         code = site.site.split("-", 1)[1]
         index = obs.site_codes.index(code)
@@ -111,7 +111,7 @@ def nl_figure(nl: NlService) -> SeriesBundle:
 
 
 def nl_event_minimum(
-    nl: NlService, node: str, events: tuple = EVENTS
+    nl: NlService, node: str, events: tuple[Interval, ...] = EVENTS
 ) -> float:
     """A node's lowest normalised rate inside the event windows."""
     try:
@@ -123,7 +123,7 @@ def nl_event_minimum(
 
 
 def silence_score(
-    series: Series, grid: TimeGrid, events: tuple = EVENTS
+    series: Series, grid: TimeGrid, events: tuple[Interval, ...] = EVENTS
 ) -> float:
     """How silent a service went during the events (0 = unaffected,
     1 = completely silent): one minus the event-window minimum of the

@@ -105,7 +105,7 @@ def efficiency_table(
     bins: np.ndarray | None = None,
 ) -> TableResult:
     """Per-letter efficiency comparison."""
-    rows = []
+    rows: list[tuple[object, ...]] = []
     for letter in sorted(deployments):
         if letter not in dataset.letters:
             continue

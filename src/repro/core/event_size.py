@@ -130,14 +130,14 @@ def letter_event_size(
     }
     # The attack bin is the dominant unusual bin; fall back to the
     # overall dominant bin.
-    baseline_bins = set()
+    baseline_bins: set[int] = set()
     for report in baseline_reports:
         baseline_bins.update(report.query_size_hist)
     unusual = {
         b: c for b, c in attack_bins.items() if b not in baseline_bins
     }
     source = unusual or attack_bins
-    q_bin = max(source, key=source.get) if source else 0
+    q_bin = max(source, key=lambda b: source[b]) if source else 0
     r_bins = {
         b: c
         for b, c in day.response_size_hist.items()
@@ -249,7 +249,7 @@ def event_size_table(
     """
     if n_attacked_letters is None:
         n_attacked_letters = len(attacked_letters)
-    sizes = []
+    sizes: list[LetterEventSize] = []
     flags: list[QualityFlag] = []
     for letter in sorted(rssac):
         try:

@@ -164,7 +164,7 @@ def vp_timelines(
     *origin_sites*, optionally down-sampled to *sample* VPs.
     """
     obs = dataset.letter(letter)
-    origin_idx = {}
+    origin_idx: dict[int, str] = {}
     for site in origin_sites:
         try:
             origin_idx[obs.site_codes.index(site)] = site
@@ -178,7 +178,7 @@ def vp_timelines(
     after = hours >= ev_end
 
     track = _site_track(obs.site_idx)
-    timelines = []
+    timelines: list[VpTimeline] = []
     for vp in range(obs.n_vps):
         pre = track[before, vp]
         pre_sites = pre[pre >= 0]

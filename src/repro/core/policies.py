@@ -103,7 +103,7 @@ def withdrawal_assignment(
     """Assignment after withdrawing sites: groups take their first
     still-announced option; a group with none keeps its last option
     (the traffic has nowhere else to go)."""
-    assignment = {}
+    assignment: Assignment = {}
     for group in model.groups:
         remaining = [s for s in group.site_options if s not in withdrawn]
         assignment[group.name] = (

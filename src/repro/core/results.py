@@ -113,7 +113,7 @@ class TableResult:
 
     title: str
     headers: tuple[str, ...]
-    rows: tuple[tuple, ...] = field(default=())
+    rows: tuple[tuple[object, ...], ...] = field(default=())
     #: Degradation annotations: which inputs were missing or partial
     #: when this table was computed (empty for clean data).
     quality: tuple[QualityFlag, ...] = ()
@@ -126,7 +126,7 @@ class TableResult:
                     f"{len(self.headers)} headers"
                 )
 
-    def column(self, header: str) -> list:
+    def column(self, header: str) -> list[object]:
         """All values of one column."""
         try:
             index = self.headers.index(header)
@@ -136,7 +136,7 @@ class TableResult:
             ) from None
         return [row[index] for row in self.rows]
 
-    def row_for(self, key) -> tuple:
+    def row_for(self, key: object) -> tuple[object, ...]:
         """The row whose first cell equals *key*."""
         for row in self.rows:
             if row[0] == key:
@@ -145,7 +145,7 @@ class TableResult:
 
     def render(self) -> str:
         """Aligned ASCII rendering."""
-        def fmt(cell) -> str:
+        def fmt(cell: object) -> str:
             if isinstance(cell, float):
                 return f"{cell:.2f}"
             return str(cell)

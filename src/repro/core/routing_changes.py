@@ -20,7 +20,7 @@ def route_change_series(
 ) -> SeriesBundle:
     """Fig. 9: per-letter BGP updates per bin."""
     hours = grid.hours()
-    series = []
+    series: list[Series] = []
     for letter in sorted(route_changes):
         counts = np.asarray(route_changes[letter], dtype=np.float64)
         if counts.shape != hours.shape:

@@ -120,7 +120,7 @@ def server_rtt_series(
     servers = sorted(
         int(s) for s in np.unique(obs.server[at_site]) if s > 0
     )
-    series = []
+    series: list[Series] = []
     for srv in servers:
         mask = at_site & (obs.server == srv)
         medians = _median_ignoring_empty(obs.rtt_ms, mask)

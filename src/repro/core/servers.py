@@ -30,7 +30,7 @@ def server_reachability(
         int(s) for s in np.unique(obs.server[at_site]) if s > 0
     )
     hours = dataset.grid.hours()
-    series = []
+    series: list[Series] = []
     for srv in servers:
         counts = (at_site & (obs.server == srv)).sum(axis=1)
         series.append(

@@ -1,0 +1,40 @@
+"""Static-analysis tooling enforcing this repo's determinism invariants.
+
+The whole value of the reproduction is bit-identical, seeded re-runs
+(the golden-equivalence fixture guards it), but the invariants that
+make that true -- no global RNG, no wall-clock reads, no ``id()``-keyed
+caches, no draw-order-sensitive set iteration -- used to live only in
+code comments and reviewer memory.  PR 1 fixed a real GC-aliasing
+``id(table)`` cache bug of exactly this class.  This package encodes
+those invariants as machine-checked AST rules:
+
+=========  ==========================================================
+DET001     global / unseeded randomness (``random.*``, legacy
+           ``np.random.*``, argless ``default_rng()``)
+DET002     ``id(...)`` used as a dict/cache key or comparison token
+DET003     wall-clock reads in simulation/analysis code
+DET004     iteration over bare sets (arbitrary order)
+COR001     mutable default arguments
+COR002     float ``==`` / ``!=`` comparisons
+=========  ==========================================================
+
+Run it with ``python -m repro.devtools.lint src tests`` or the
+``scripts/lint_repro.py`` wrapper.  A justified violation is silenced
+in place with ``# repro: noqa DET001 -- reason`` (the justification is
+mandatory; unused or unjustified suppressions are themselves flagged).
+"""
+
+from __future__ import annotations
+
+from .registry import Rule, SourceFile, Violation, all_rules, register
+from .runner import lint_paths, lint_source
+
+__all__ = [
+    "Rule",
+    "SourceFile",
+    "Violation",
+    "all_rules",
+    "register",
+    "lint_paths",
+    "lint_source",
+]

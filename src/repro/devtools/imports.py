@@ -1,0 +1,65 @@
+"""Resolve local names back to absolute dotted module paths.
+
+The determinism rules reason about *what* a name refers to, not what
+it is spelled as: ``np.random.seed``, ``numpy.random.seed`` and
+``from numpy import random as npr; npr.seed`` are the same violation.
+:class:`ImportMap` records every absolute import binding in a module
+so rules can normalise attribute chains to full dotted names.
+
+Relative imports (``from ..util import rng``) resolve inside this
+package and are never the stdlib/numpy modules the rules target, so
+they are deliberately left out of the map.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class ImportMap:
+    """Maps a module-local name to the absolute module/object it names."""
+
+    bindings: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_tree(cls, tree: ast.Module) -> "ImportMap":
+        """Collect bindings from every import statement in *tree*."""
+        bindings: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        bindings[alias.asname] = alias.name
+                    else:
+                        # ``import numpy.random`` binds ``numpy``.
+                        top = alias.name.split(".", 1)[0]
+                        bindings[top] = top
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative import: out of scope
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    bindings[local] = f"{node.module}.{alias.name}"
+        return cls(bindings=bindings)
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Absolute dotted path of a Name/Attribute chain, or ``None``.
+
+        ``None`` means the chain does not start at an imported name
+        (locals, builtins, and computed expressions all resolve to
+        ``None``; rules then ignore them).
+        """
+        chain: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            chain.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        base = self.bindings.get(current.id)
+        if base is None:
+            return None
+        chain.append(base)
+        return ".".join(reversed(chain))

@@ -1,0 +1,74 @@
+"""Command-line entry point: ``python -m repro.devtools.lint src tests``.
+
+Exit codes form a contract CI relies on:
+
+* ``0`` -- every checked file is clean;
+* ``1`` -- at least one violation (printed as ``file:line:col: RULE``);
+* ``2`` -- the lint itself failed (missing path, unparseable file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .registry import rule_descriptions
+from .report import render_json, render_text
+from .runner import lint_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description=(
+            "Enforce the repo's determinism/correctness invariants "
+            "(DET001-DET004, COR001-COR002) over Python sources."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for code, summary, rationale in rule_descriptions():
+            print(f"{code}  {summary}")
+            print(f"        {rationale}")
+        return 0
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        for path in missing:
+            print(f"error: no such path: {path}", file=sys.stderr)
+        return 2
+
+    report = lint_paths(args.paths)
+    rendered = (
+        render_json(report) if args.format == "json" else render_text(report)
+    )
+    print(rendered)
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""The ``# repro: noqa`` suppression syntax.
+
+A violation that is intentional is silenced *in place*, with a
+mandatory justification::
+
+    rng = np.random.default_rng()  # repro: noqa DET001 -- demo only, result unused
+
+Several codes may be listed, comma-separated.  The justification (the
+text after ``--``) is not decoration: a suppression without one is
+itself reported (NOQ001), as is a suppression that no longer matches
+any violation on its line (NOQ002) -- stale exemptions rot into
+blanket ones otherwise.  NOQ violations cannot be suppressed.
+"""
+
+from __future__ import annotations
+
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+
+#: Matches the whole suppression comment; codes and reason are parsed
+#: separately so malformed variants can be reported precisely.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa\b(?P<rest>.*)$", re.IGNORECASE
+)
+
+#: One rule code: three letters, three digits.
+_CODE_RE = re.compile(r"^[A-Z]{3}\d{3}$")
+
+#: Codes that identify problems with suppressions themselves.
+NOQA_MISSING_JUSTIFICATION = "NOQ001"
+NOQA_UNUSED = "NOQ002"
+
+
+@dataclass(slots=True)
+class Suppression:
+    """One parsed ``# repro: noqa`` comment."""
+
+    line: int
+    col: int
+    codes: frozenset[str]
+    reason: str
+    #: Set by the runner when a violation is actually silenced.
+    used_codes: set[str] = field(default_factory=set)
+
+    @property
+    def justified(self) -> bool:
+        return bool(self.reason.strip())
+
+    @property
+    def well_formed(self) -> bool:
+        return bool(self.codes) and self.justified
+
+
+def parse_suppressions(text: str) -> dict[int, Suppression]:
+    """All suppression comments in *text*, keyed by physical line.
+
+    Comments are found with :mod:`tokenize` so a ``# repro: noqa``
+    inside a string literal is never mistaken for a suppression.
+    """
+    found: dict[int, Suppression] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(StringIO(text).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return found
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _NOQA_RE.search(tok.string)
+        if match is None:
+            continue
+        rest = match.group("rest")
+        if "--" in rest:
+            code_part, _, reason = rest.partition("--")
+        else:
+            code_part, reason = rest, ""
+        codes = frozenset(
+            c
+            for c in re.split(r"[,\s]+", code_part.strip())
+            if _CODE_RE.match(c)
+        )
+        line = tok.start[0]
+        found[line] = Suppression(
+            line=line,
+            col=tok.start[1] + 1,
+            codes=codes,
+            reason=reason.strip(),
+        )
+    return found

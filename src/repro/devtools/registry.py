@@ -1,0 +1,155 @@
+"""Rule registry, source-file model, and the violation record.
+
+A rule is a small class: a stable code (``DET001``), a one-line
+``summary``, a ``rationale`` explaining why the invariant matters for
+this repo, a scope predicate (:meth:`Rule.applies_to`), and a
+:meth:`Rule.check` generator over one parsed file.  Rules register
+themselves with :func:`register` at import time; the runner asks
+:func:`all_rules` for the active set, so tests can also instantiate a
+single rule directly against fixture snippets.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import ClassVar, Iterator, Type
+
+from .imports import ImportMap
+
+#: Files whose basename matches one of these are test code.
+_TEST_BASENAMES = ("test_", "conftest")
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """The text reporter's ``file:line:col: RULE message`` line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        """A JSON-serialisable record of this violation."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass(slots=True)
+class SourceFile:
+    """One file, parsed once and shared by every rule.
+
+    ``scope`` is ``"src"`` for package/simulation code, ``"tests"``
+    for test code, and ``"other"`` for anything else; rules use it to
+    express where an invariant applies (e.g. wall-clock reads are
+    fine in a benchmark harness but not in the engine).
+    """
+
+    path: str
+    text: str
+    tree: ast.Module
+    scope: str
+    #: Maps every AST node to its parent, for context-sensitive rules.
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+    #: Local name -> absolute dotted module path for imported names.
+    imports: ImportMap = field(default_factory=ImportMap)
+
+    @classmethod
+    def parse(cls, path: str, text: str) -> "SourceFile":
+        """Parse *text*, raising :class:`SyntaxError` on bad input."""
+        tree = ast.parse(text, filename=path)
+        parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+        return cls(
+            path=path,
+            text=text,
+            tree=tree,
+            scope=classify_scope(path),
+            parents=parents,
+            imports=ImportMap.from_tree(tree),
+        )
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The syntactic parent of *node* (None for the module)."""
+        return self.parents.get(node)
+
+    def violation(self, node: ast.AST, rule: str, message: str) -> Violation:
+        """A :class:`Violation` anchored at *node*'s location."""
+        return Violation(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+        )
+
+
+def classify_scope(path: str) -> str:
+    """Classify a lint path as ``"src"``, ``"tests"``, or ``"other"``."""
+    pure = PurePosixPath(path.replace("\\", "/"))
+    name = pure.name
+    if any(part == "tests" for part in pure.parts) or name.startswith(
+        _TEST_BASENAMES
+    ):
+        return "tests"
+    if any(part in ("src", "repro") for part in pure.parts):
+        return "src"
+    return "other"
+
+
+class Rule:
+    """Base class for one lint rule.  Subclass and :func:`register`."""
+
+    code: ClassVar[str] = "XXX000"
+    summary: ClassVar[str] = ""
+    rationale: ClassVar[str] = ""
+
+    def applies_to(self, file: SourceFile) -> bool:
+        """Whether this rule runs on *file* at all (default: always)."""
+        return True
+
+    def check(self, file: SourceFile) -> Iterator[Violation]:
+        """Yield every violation of this rule in *file*."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator for typing
+
+
+_REGISTRY: dict[str, Type[Rule]] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding *rule_class* to the active rule set."""
+    code = rule_class.code
+    if code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {code!r}")
+    _REGISTRY[code] = rule_class
+    return rule_class
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Fresh instances of every registered rule, sorted by code."""
+    # Importing the rule module populates the registry on first use.
+    from . import rules as _rules  # noqa: F401
+
+    return tuple(_REGISTRY[code]() for code in sorted(_REGISTRY))
+
+
+def rule_descriptions() -> tuple[tuple[str, str, str], ...]:
+    """(code, summary, rationale) for every registered rule."""
+    return tuple(
+        (r.code, r.summary, r.rationale) for r in all_rules()
+    )

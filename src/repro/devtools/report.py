@@ -1,0 +1,42 @@
+"""Text and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+
+from .runner import LintReport
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable ``file:line:col: RULE message`` listing."""
+    lines = [v.format() for v in report.violations]
+    for path, message in report.errors:
+        lines.append(f"{path}: error: {message}")
+    n = len(report.violations)
+    if report.errors:
+        lines.append(
+            f"{len(report.errors)} file(s) could not be checked"
+        )
+    if n or report.errors:
+        lines.append(
+            f"{n} violation(s) in {report.checked_files} checked file(s)"
+        )
+    else:
+        lines.append(
+            f"repro lint: {report.checked_files} file(s) clean"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report (stable key order, one JSON object)."""
+    payload = {
+        "checked_files": report.checked_files,
+        "violations": [v.to_json() for v in report.violations],
+        "errors": [
+            {"path": path, "message": message}
+            for path, message in report.errors
+        ],
+        "exit_code": report.exit_code,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

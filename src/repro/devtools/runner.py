@@ -1,0 +1,155 @@
+"""Per-file lint driver: parse once, run every applicable rule.
+
+The runner owns the parts that are rule-independent: file discovery,
+parsing, suppression bookkeeping (including flagging unjustified and
+unused ``# repro: noqa`` comments), and stable ordering of results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .noqa import (
+    NOQA_MISSING_JUSTIFICATION,
+    NOQA_UNUSED,
+    Suppression,
+    parse_suppressions,
+)
+from .registry import Rule, SourceFile, Violation, all_rules
+
+#: Directories never worth descending into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+
+@dataclass(slots=True)
+class LintReport:
+    """Everything one lint invocation produced."""
+
+    violations: list[Violation] = field(default_factory=list)
+    #: Files that could not be parsed: (path, error message).
+    errors: list[tuple[str, str]] = field(default_factory=list)
+    checked_files: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """The CLI contract: 0 clean, 1 violations, 2 internal errors."""
+        if self.errors:
+            return 2
+        return 1 if self.violations else 0
+
+
+def iter_python_files(paths: Sequence[str]) -> list[Path]:
+    """Every ``.py`` file under *paths*, deduplicated and sorted."""
+    found: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            found.add(path)
+        else:
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    found.add(candidate)
+    return sorted(found)
+
+
+def lint_source(
+    text: str, path: str, rules: Iterable[Rule] | None = None
+) -> list[Violation]:
+    """Lint one source string as if it lived at *path*.
+
+    This is the unit-test surface: rule fixtures feed snippets through
+    it with a fake path to exercise scope handling.  Raises
+    :class:`SyntaxError` if *text* does not parse.
+    """
+    file = SourceFile.parse(path, text)
+    active = list(all_rules() if rules is None else rules)
+
+    raw: list[Violation] = []
+    for rule in active:
+        if rule.applies_to(file):
+            raw.extend(rule.check(file))
+
+    suppressions = parse_suppressions(text)
+    kept = [v for v in raw if not _suppress(v, suppressions)]
+    kept.extend(_suppression_violations(path, suppressions))
+    kept.sort(key=lambda v: (v.line, v.col, v.rule))
+    return kept
+
+
+def _suppress(
+    violation: Violation, suppressions: dict[int, Suppression]
+) -> bool:
+    entry = suppressions.get(violation.line)
+    if entry is None or not entry.well_formed:
+        return False
+    if violation.rule in entry.codes:
+        entry.used_codes.add(violation.rule)
+        return True
+    return False
+
+
+def _suppression_violations(
+    path: str, suppressions: dict[int, Suppression]
+) -> list[Violation]:
+    flagged: list[Violation] = []
+    for entry in suppressions.values():
+        if not entry.well_formed:
+            detail = (
+                "no rule codes given"
+                if not entry.codes
+                else "missing the mandatory `-- justification`"
+            )
+            flagged.append(
+                Violation(
+                    path=path,
+                    line=entry.line,
+                    col=entry.col,
+                    rule=NOQA_MISSING_JUSTIFICATION,
+                    message=(
+                        f"malformed suppression ({detail}); write "
+                        "`# repro: noqa DETxxx -- reason`"
+                    ),
+                )
+            )
+        elif not entry.used_codes:
+            codes = ",".join(sorted(entry.codes))
+            flagged.append(
+                Violation(
+                    path=path,
+                    line=entry.line,
+                    col=entry.col,
+                    rule=NOQA_UNUSED,
+                    message=(
+                        f"suppression for {codes} matched no violation "
+                        "on this line; remove the stale noqa"
+                    ),
+                )
+            )
+    return flagged
+
+
+def lint_paths(
+    paths: Sequence[str], rules: Iterable[Rule] | None = None
+) -> LintReport:
+    """Lint every Python file under *paths*."""
+    report = LintReport()
+    active = list(all_rules() if rules is None else rules)
+    for file_path in iter_python_files(paths):
+        name = file_path.as_posix()
+        try:
+            text = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            report.errors.append((name, f"unreadable: {exc}"))
+            continue
+        try:
+            report.violations.extend(lint_source(text, name, active))
+        except SyntaxError as exc:
+            report.errors.append(
+                (name, f"syntax error at line {exc.lineno}: {exc.msg}")
+            )
+            continue
+        report.checked_files += 1
+    report.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return report

@@ -25,8 +25,12 @@ Conventions:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from ..datasets.observations import AtlasDataset
 
 
 @dataclass(frozen=True, slots=True)
@@ -70,7 +74,7 @@ class DataQuality:
     def __len__(self) -> int:
         return len(self.flags)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[QualityFlag]:
         return iter(self.flags)
 
     @property
@@ -112,7 +116,9 @@ class DataQuality:
         return "\n".join(lines)
 
 
-def probe_gap_flags(dataset, letters, metric: str) -> tuple[QualityFlag, ...]:
+def probe_gap_flags(
+    dataset: AtlasDataset, letters: Iterable[str], metric: str
+) -> tuple[QualityFlag, ...]:
     """Flags for bins in which no VP probed a letter at all.
 
     Whole-fleet measurement gaps (controller outages, mass probe
@@ -121,7 +127,7 @@ def probe_gap_flags(dataset, letters, metric: str) -> tuple[QualityFlag, ...]:
     """
     from ..datasets.observations import RESP_NOT_PROBED
 
-    flags = []
+    flags: list[QualityFlag] = []
     for letter in letters:
         obs = dataset.letter(letter)
         probed = (obs.site_idx != RESP_NOT_PROBED).sum(axis=1)

@@ -29,6 +29,8 @@ from __future__ import annotations
 
 import datetime as _dt
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..datasets.observations import RESP_NOT_PROBED
@@ -43,6 +45,12 @@ from .plan import (
     VpDropout,
 )
 from .quality import DataQuality, QualityFlag
+
+if TYPE_CHECKING:
+    from ..bgpmon.collector import BgpCollectors
+    from ..datasets.observations import AtlasDataset
+    from ..rootdns.deployment import LetterDeployment
+    from ..rssac.reports import DailyReport
 
 #: Residual capacity fraction of a fully failed site -- keeps the
 #: overload model's positive-capacity invariant while driving loss to
@@ -72,8 +80,8 @@ class FaultRuntime:
         self,
         plan: FaultPlan,
         grid: TimeGrid,
-        deployments: dict,
-        collectors,
+        deployments: dict[str, LetterDeployment],
+        collectors: BgpCollectors,
         n_vps: int,
         rng: np.random.Generator,
     ) -> None:
@@ -94,7 +102,7 @@ class FaultRuntime:
         #: :meth:`BgpCollectors.route_changes_per_bin`.
         self.peer_outages: tuple[tuple[Interval, frozenset[int]], ...] = ()
 
-        peer_outages = []
+        peer_outages: list[tuple[Interval, frozenset[int]]] = []
         for spec in plan:
             if isinstance(spec, SiteFailure):
                 self._resolve_site_failure(spec)
@@ -138,14 +146,16 @@ class FaultRuntime:
                 # once the concrete report days are known.
         self.peer_outages = tuple(peer_outages)
 
-    def _check_letter(self, spec) -> None:
+    def _check_letter(
+        self, spec: SiteFailure | BgpSessionReset | RssacOutage
+    ) -> None:
         if spec.letter not in self.deployments:
             raise ValueError(
                 f"fault {spec!r} names letter {spec.letter!r}, which is "
                 f"not simulated (have {sorted(self.deployments)})"
             )
 
-    def _site_index(self, spec) -> int:
+    def _site_index(self, spec: SiteFailure | BgpSessionReset) -> int:
         self._check_letter(spec)
         dep = self.deployments[spec.letter]
         try:
@@ -214,7 +224,9 @@ class FaultRuntime:
         )
 
     def _resolve_atlas_mask(
-        self, spec, vp_idx: np.ndarray | None
+        self,
+        spec: VpDropout | ControllerOutage,
+        vp_idx: np.ndarray | None,
     ) -> None:
         bins = self.grid.bins_overlapping(spec.interval)
         if bins.size == 0:
@@ -257,7 +269,7 @@ class FaultRuntime:
         scale = self._cap_scale.get((letter, bin_index))
         return base if scale is None else base * scale
 
-    def mask_atlas(self, atlas) -> None:
+    def mask_atlas(self, atlas: AtlasDataset) -> None:
         """Blank the observation cells of dropped-out VPs, in place."""
         for bins, vp_idx in self._atlas_masks:
             for obs in atlas.letters.values():
@@ -270,14 +282,16 @@ class FaultRuntime:
                 obs.rtt_ms[cells] = np.nan
                 obs.server[cells] = 0
 
-    def filter_rssac(self, rssac: dict) -> dict:
+    def filter_rssac(
+        self, rssac: dict[str, tuple[DailyReport, ...]]
+    ) -> dict[str, tuple[DailyReport, ...]]:
         """Drop report days covered by an RSSAC outage; flag each."""
         outages = self.plan.of_type(RssacOutage)
         if not outages:
             return rssac
-        filtered = {}
+        filtered: dict[str, tuple[DailyReport, ...]] = {}
         for letter, reports in rssac.items():
-            kept = []
+            kept: list[DailyReport] = []
             for report in reports:
                 hit = any(
                     o.letter == letter

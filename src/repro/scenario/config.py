@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..atlas.vps import VpPopulationConfig
 from ..attack.botnet import BotnetConfig
@@ -19,6 +20,9 @@ from ..util.timegrid import (
     TimeGrid,
 )
 from .nl import NlConfig
+
+if TYPE_CHECKING:
+    from ..defense.controllers import Controller
 
 
 @dataclass(frozen=True, slots=True)
@@ -55,7 +59,7 @@ class ScenarioConfig:
     bin_seconds: int = PAPER_BIN_SECONDS
     #: Per-letter defense controllers (repro.defense); letters not
     #: listed keep their built-in static policies.
-    controllers: dict | None = None
+    controllers: dict[str, Controller] | None = None
     #: Incidental-failure plan (repro.faults): VP dropout, site
     #: hardware failures, BGP session resets, missing RSSAC days,
     #: collector-peer churn.  The default empty plan is free and

@@ -21,6 +21,7 @@ prefix's change log and packages everything into a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -49,9 +50,12 @@ from ..rssac.reports import (
     build_daily_report,
 )
 from ..util.rng import RngFactory
-from ..util.timegrid import TimeGrid
+from ..util.timegrid import Interval, TimeGrid
 from .config import ScenarioConfig
 from .nl import NlService
+
+if TYPE_CHECKING:
+    from ..defense.controllers import Controller
 
 #: Utilisation above which a site counts as overloaded for server-
 #: behaviour purposes (shedding, skew).
@@ -152,7 +156,7 @@ class ScenarioResult:
     def vps(self) -> VantagePointTable:
         return self.atlas.vps
 
-    def event_intervals(self) -> tuple:
+    def event_intervals(self) -> tuple[Interval, ...]:
         """The attack intervals of this scenario's events."""
         return tuple(e.interval for e in self.config.events)
 
@@ -162,7 +166,7 @@ class ScenarioResult:
 
 
 def _run_controller(
-    controller,
+    controller: Controller,
     dep: LetterDeployment,
     bin_index: int,
     codes: list[str],
@@ -175,7 +179,7 @@ def _run_controller(
     from ..defense.controllers import Action, ActionKind, OracleController
     from ..defense.observation import LetterObservation, SiteObservation
 
-    sites = []
+    sites: list[SiteObservation] = []
     for i, code in enumerate(codes):
         accepted = float(offered[i] * (1.0 - loss[i]))
         dropped = float(offered[i] * loss[i])

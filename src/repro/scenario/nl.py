@@ -70,7 +70,7 @@ class NlService:
     def node_offered(self, timestamp: float) -> dict[str, float]:
         """Offered .nl query rate per node at *timestamp*."""
         total = self.workload.rate_at(timestamp)
-        offered = {}
+        offered: dict[str, float] = {}
         for name, _ in COLOCATED_NODES:
             offered[name] = total * self.config.anycast_share
         rest = total * (1.0 - 2 * self.config.anycast_share)

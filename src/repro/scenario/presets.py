@@ -11,6 +11,7 @@ less effective -- while the analysis pipeline runs unchanged.
 from __future__ import annotations
 
 import dataclasses
+from typing import Any
 
 from ..attack.botnet import BotnetConfig
 from ..attack.events import AttackEvent
@@ -49,7 +50,7 @@ JUNE2016_BOTNET = BotnetConfig(
 QUIET_WINDOW_START = utc(2015, 12, 5)
 
 
-def quiet_config(**overrides) -> ScenarioConfig:
+def quiet_config(**overrides: Any) -> ScenarioConfig:
     """The paper's §3.3.1 control: two normal days, no events.
 
     Used to confirm that the catchment swings of Figs. 5-6 are
@@ -62,12 +63,12 @@ def quiet_config(**overrides) -> ScenarioConfig:
     return dataclasses.replace(base, **overrides)
 
 
-def nov2015_config(**overrides) -> ScenarioConfig:
+def nov2015_config(**overrides: Any) -> ScenarioConfig:
     """The paper's canonical Nov 30 / Dec 1 2015 scenario."""
     return ScenarioConfig(**overrides)
 
 
-def june2016_config(**overrides) -> ScenarioConfig:
+def june2016_config(**overrides: Any) -> ScenarioConfig:
     """The 2016-06-25 follow-up event scenario."""
     base = ScenarioConfig(
         events=JUNE2016_EVENTS,
