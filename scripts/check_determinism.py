@@ -17,7 +17,7 @@ import sys
 
 import numpy as np
 
-from make_golden import result_arrays
+from repro.scenario.arrays import result_arrays
 from repro.scenario.engine import ScenarioResult
 from repro.faults import (
     BgpSessionReset,

@@ -20,8 +20,11 @@ import pathlib
 
 import numpy as np
 
+from repro.scenario.arrays import result_arrays
 from repro.scenario.config import ScenarioConfig
 from repro.scenario.engine import simulate
+
+__all__ = ["FIXTURE", "GOLDEN_CONFIG", "golden_config", "result_arrays"]
 
 FIXTURE = (
     pathlib.Path(__file__).resolve().parent.parent
@@ -42,59 +45,6 @@ GOLDEN_CONFIG = dict(
 
 def golden_config() -> ScenarioConfig:
     return ScenarioConfig(**GOLDEN_CONFIG)
-
-
-def result_arrays(result) -> dict[str, np.ndarray]:
-    """Flatten a ScenarioResult into named arrays for exact comparison."""
-    out: dict[str, np.ndarray] = {}
-    for letter in result.letters:
-        t = result.truth[letter]
-        p = f"{letter}/truth"
-        out[f"{p}/offered_qps"] = t.offered_qps
-        out[f"{p}/loss"] = t.loss
-        out[f"{p}/delay_ms"] = t.delay_ms
-        out[f"{p}/announced"] = t.announced
-        out[f"{p}/legit_offered_qps"] = t.legit_offered_qps
-        out[f"{p}/legit_served_qps"] = t.legit_served_qps
-        out[f"{p}/epoch_of_bin"] = t.epoch_of_bin
-        out[f"{p}/stub_site_by_epoch"] = t.stub_site_by_epoch
-
-        obs = result.atlas.letters[letter]
-        out[f"{letter}/atlas/site_idx"] = obs.site_idx
-        out[f"{letter}/atlas/rtt_ms"] = obs.rtt_ms
-        out[f"{letter}/atlas/server"] = obs.server
-
-        out[f"{letter}/route_changes"] = result.route_changes[letter]
-
-        reports = result.rssac[letter]
-        out[f"{letter}/rssac/queries"] = np.array(
-            [r.queries for r in reports]
-        )
-        out[f"{letter}/rssac/responses"] = np.array(
-            [r.responses for r in reports]
-        )
-        out[f"{letter}/rssac/unique_sources"] = np.array(
-            [r.unique_sources for r in reports]
-        )
-        out[f"{letter}/rssac/query_hist"] = np.array(
-            [
-                (i, edge, count)
-                for i, r in enumerate(reports)
-                for edge, count in sorted(r.query_size_hist.items())
-            ],
-            dtype=np.float64,
-        ).reshape(-1, 3)
-        out[f"{letter}/rssac/response_hist"] = np.array(
-            [
-                (i, edge, count)
-                for i, r in enumerate(reports)
-                for edge, count in sorted(r.response_size_hist.items())
-            ],
-            dtype=np.float64,
-        ).reshape(-1, 3)
-    if result.nl is not None:
-        out["nl/served"] = result.nl.served
-    return out
 
 
 def main() -> None:

@@ -1,4 +1,4 @@
-"""Command-line interface: simulate, analyze, report, policies.
+"""Command-line interface: simulate, analyze, report, policies, sweep.
 
 Installed as the ``anycast-ddos`` console script:
 
@@ -7,14 +7,19 @@ Installed as the ``anycast-ddos`` console script:
 * ``anycast-ddos analyze events.npz --figure fig3`` -- reproduce one
   figure/table from a saved dataset;
 * ``anycast-ddos report`` -- simulate and print the full post-mortem;
-* ``anycast-ddos policies --attack 6`` -- evaluate the §2.2 model.
+* ``anycast-ddos policies --attack 6`` -- evaluate the §2.2 model;
+* ``anycast-ddos sweep --axis baseline_days=3,7 --replicates 3
+  --jobs 4`` -- run a scenario grid in parallel and print per-cell
+  summaries (bit-identical for any ``--jobs``).
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
+import json
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
 from . import ScenarioConfig, june2016_config, nov2015_config, simulate
 from .core import (
@@ -154,6 +159,68 @@ def _cmd_policies(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_axis(spec_str: str) -> tuple[str, list[Any]]:
+    """Parse one ``--axis field=v1,v2,...`` argument.
+
+    Values go through ``ast.literal_eval`` so numbers, booleans, and
+    tuples arrive typed; anything unparsable stays a string.
+    """
+    name, sep, raw = spec_str.partition("=")
+    if not sep or not raw:
+        raise argparse.ArgumentTypeError(
+            f"expected field=v1,v2,... got {spec_str!r}"
+        )
+    values: list[Any] = []
+    for part in raw.split(","):
+        part = part.strip()
+        try:
+            values.append(ast.literal_eval(part))
+        except (ValueError, SyntaxError):
+            values.append(part)
+    return name.strip(), values
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .sweep import SweepSpec, run_sweep, summaries_records
+
+    base = _config_from_args(args)
+    axes = dict(_parse_axis(spec_str) for spec_str in args.axis or [])
+    spec = SweepSpec.grid(
+        base,
+        axes,
+        replicates=args.replicates if args.replicates > 1 else None,
+    )
+    print(
+        f"sweep: {spec.n_points} point(s) x {spec.n_seeds} seed(s) = "
+        f"{spec.n_cells} cell(s), jobs={args.jobs}",
+        file=sys.stderr,
+    )
+
+    def _progress(event: Any) -> None:
+        print(str(event), file=sys.stderr)
+
+    result = run_sweep(
+        spec,
+        jobs=args.jobs,
+        progress=None if args.quiet else _progress,
+    )
+    payload = {
+        "n_points": spec.n_points,
+        "n_seeds": spec.n_seeds,
+        "n_cells": spec.n_cells,
+        "jobs": args.jobs,
+        "summaries": summaries_records(result.summaries),
+    }
+    rendered = json.dumps(payload, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(rendered)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="anycast-ddos",
@@ -184,6 +251,25 @@ def build_parser() -> argparse.ArgumentParser:
     pol.add_argument("--attack", type=float, default=6.0,
                      help="attack volume A0 = A1 (site capacity = 1)")
     pol.set_defaults(func=_cmd_policies)
+
+    swp = sub.add_parser(
+        "sweep",
+        help="run a scenario grid (parallel, deterministic)",
+    )
+    _add_scenario_args(swp)
+    swp.add_argument(
+        "--axis", action="append", metavar="FIELD=V1,V2,...",
+        help="one grid axis over a ScenarioConfig field (repeatable)",
+    )
+    swp.add_argument("--replicates", type=int, default=1,
+                     help="replicate seeds per grid point")
+    swp.add_argument("--jobs", type=int, default=1,
+                     help="worker processes (output identical for any N)")
+    swp.add_argument("--out", default=None,
+                     help="write summary JSON here instead of stdout")
+    swp.add_argument("--quiet", action="store_true",
+                     help="suppress per-cell progress lines")
+    swp.set_defaults(func=_cmd_sweep)
 
     return parser
 

@@ -107,6 +107,23 @@ class DataQuality:
             flags.extend(other.flags)
         return DataQuality(flags=tuple(flags))
 
+    def union(self, *others: "DataQuality") -> "DataQuality":
+        """Deduplicating merge: each distinct flag kept once.
+
+        Order is preserved (first occurrence wins), so the result is
+        deterministic for a deterministic input order.  This is the
+        merge the sweep aggregator uses when folding replicate runs of
+        one cell into a summary: a fault that flags every replicate
+        identically appears once, not once per seed, while any
+        seed-dependent flag (e.g. differing gap spans) is retained
+        verbatim.
+        """
+        seen: dict[QualityFlag, None] = {}
+        for report in (self, *others):
+            for flag in report.flags:
+                seen.setdefault(flag, None)
+        return DataQuality(flags=tuple(seen))
+
     def describe(self) -> str:
         """Human-readable one-line-per-flag rendering."""
         if not self.flags:

@@ -161,6 +161,22 @@ class AnycastPrefix:
         """Re-announce *site* (post-event recovery)."""
         return self.set_announced(site, True, timestamp)
 
+    def reset(self) -> None:
+        """Restore the post-construction announcement state.
+
+        Every site returns to announced with its original export
+        policy and the change log empties; the routing-table cache is
+        kept (tables are pure functions of graph + announcement state,
+        and their ``version`` tokens never reach simulated outputs).
+        Callers modelling standby sites must replay their initial
+        withdrawals, as construction does.
+        """
+        for site, origin in self._origins.items():
+            self._announced[site] = True
+            self._blocked[site] = origin.blocked_neighbors
+        self._current = None
+        self._change_log = []
+
     def change_log(self) -> list[RouteChangeRecord]:
         """All routing transitions so far, in time order."""
         return list(self._change_log)

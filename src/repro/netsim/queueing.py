@@ -28,6 +28,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+#: Loss fraction the early-loss ramp reaches as rho approaches
+#: saturation.  The saturated branch (``1 - 1/rho``) starts below this
+#: value, so it is floored here to keep loss monotone in load.
+EARLY_LOSS_MAX = 0.05
+
 
 @dataclass(frozen=True, slots=True)
 class OverloadModel:
@@ -96,12 +101,18 @@ class OverloadModel:
         ramp = (rho > self.loss_knee) & (rho < 1.0)
         knee_width = 1.0 - self.loss_knee
         if knee_width > 0:
-            # Ramp continuously from 0 at the knee to 0 at saturation's
-            # own formula start; small quadratic onset.
+            # Quadratic onset from 0 at the knee to EARLY_LOSS_MAX at
+            # saturation.
             frac = (rho[ramp] - self.loss_knee) / knee_width
-            loss[ramp] = 0.05 * frac**2
+            loss[ramp] = EARLY_LOSS_MAX * frac**2
         saturated = rho >= 1.0
-        loss[saturated] = 1.0 - 1.0 / rho[saturated]
+        # The excess-traffic formula starts at 0 for rho -> 1+, below
+        # where the ramp ends; floor it there so loss never *drops* as
+        # load rises through saturation.
+        loss[saturated] = np.maximum(
+            1.0 - 1.0 / rho[saturated],
+            EARLY_LOSS_MAX if knee_width > 0 else 0.0,
+        )
         return np.clip(loss, 0.0, 1.0)
 
     def _delay_from_rho(self, rho: np.ndarray) -> np.ndarray:
@@ -111,11 +122,15 @@ class OverloadModel:
         below = rho < self.loss_knee
         delay[below] = self.service_ms * rho[below] / (1.0 - rho[below])
         # Between knee and saturation: blend from the M/M/1 value at
-        # the knee towards the full buffer.
-        knee_delay = self.service_ms * self.loss_knee / (1.0 - self.loss_knee)
+        # the knee towards the full buffer.  With loss_knee == 1 the
+        # ramp is empty and the knee delay is undefined (the M/M/1
+        # pole), so it is only computed when a ramp exists.
         ramp = (rho >= self.loss_knee) & (rho < 1.0)
         knee_width = 1.0 - self.loss_knee
         if knee_width > 0:
+            knee_delay = (
+                self.service_ms * self.loss_knee / knee_width
+            )
             frac = (rho[ramp] - self.loss_knee) / knee_width
             delay[ramp] = knee_delay + frac**2 * (
                 0.5 * self.buffer_ms - knee_delay

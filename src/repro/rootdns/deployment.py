@@ -115,6 +115,26 @@ class LetterDeployment:
             if not site.initially_announced:
                 self.prefix.withdraw(site.code, timestamp=float("-inf"))
 
+    def reset(self) -> None:
+        """Restore the post-construction state for a fresh run.
+
+        Rebuilds the site policy states, clears the policy log and the
+        memo caches, and resets the prefix -- including replaying the
+        initial withdrawal of standby sites exactly as ``__init__``
+        does, so the change log starts with the same records.  The
+        routing-table cache inside the prefix survives, which is the
+        point: a reused deployment skips every BGP propagation it has
+        already done.
+        """
+        self.states = {s.code: SiteState.initial(s) for s in self.spec.sites}
+        self.policy_log = []
+        self._quiet_cache = None
+        self._announced_cache = None
+        self.prefix.reset()
+        for site in self.spec.sites:
+            if not site.initially_announced:
+                self.prefix.withdraw(site.code, timestamp=float("-inf"))
+
     @property
     def letter(self) -> str:
         return self.spec.letter

@@ -16,10 +16,22 @@ For every ten-minute bin the engine:
 Afterwards it derives the BGPmon route-change series from each
 prefix's change log and packages everything into a
 :class:`ScenarioResult`.
+
+The expensive pre-loop artifacts -- the AS topology (with the site
+host ASes wired in), the letter deployments, the Atlas VP population,
+the botnet placement, and the BGPmon collector peers -- are bundled
+into a :class:`Substrate`.  :func:`simulate` builds one on the fly,
+but callers running *many* scenarios that share those artifacts (the
+sweep engine, :mod:`repro.sweep`) build it once via
+:func:`build_substrate` and pass it back in: the substrate is
+:meth:`~Substrate.reset` to its post-construction state before every
+run, which is proven bit-identical to a fresh build by
+``tests/scenario/test_substrate.py`` and the sweep golden tests.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -42,7 +54,7 @@ from ..faults.runtime import FaultRuntime
 from ..netsim.topology import Topology, build_topology
 from ..rootdns.deployment import LetterDeployment, build_deployments
 from ..rootdns.facility import FacilityRegistry
-from ..rootdns.letters import LETTERS_SPEC
+from ..rootdns.letters import LETTERS_SPEC, LetterSpec
 from ..rssac.reports import (
     DayAccumulator,
     DailyReport,
@@ -52,7 +64,7 @@ from ..rssac.reports import (
 from ..util.rng import RngFactory
 from ..util.timegrid import Interval, TimeGrid
 from .config import ScenarioConfig
-from .nl import NlService
+from .nl import NlService, register_nl_nodes
 
 if TYPE_CHECKING:
     from ..defense.controllers import Controller
@@ -220,11 +232,98 @@ def _run_controller(
             dep.states[action.site].partial = False
 
 
-def simulate(config: ScenarioConfig) -> ScenarioResult:
-    """Run the full scenario and return the dataset bundle."""
-    rngs = RngFactory(config.seed)
-    grid = config.grid()
+#: Config fields that determine the substrate (everything built before
+#: the bin loop).  Fields absent here -- attack events, the overload
+#: model, the observation window, controllers, faults -- only shape
+#: the run itself, so scenarios differing in them can share a
+#: substrate.
+_SUBSTRATE_FIELDS = (
+    "seed",
+    "n_stubs",
+    "n_vps",
+    "letters",
+    "topology",
+    "vps",
+    "botnet",
+    "bgpmon",
+    "custom_letters",
+    "include_nl",
+    "nl",
+)
 
+
+def _freeze(value: object) -> object:
+    """A hashable, equality-faithful token for one config value."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            type(value).__name__,
+            tuple(
+                (f.name, _freeze(getattr(value, f.name)))
+                for f in dataclasses.fields(value)
+            ),
+        )
+    if isinstance(value, dict):
+        return tuple(
+            (k, _freeze(v)) for k, v in sorted(value.items())
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(value))
+    return value
+
+
+def substrate_signature(config: ScenarioConfig) -> tuple[object, ...]:
+    """A hashable key identifying the substrate *config* implies.
+
+    Two configs with equal signatures build bit-identical substrates;
+    the sweep engine's per-worker cache is keyed on this.
+    """
+    return tuple(
+        _freeze(getattr(config, name)) for name in _SUBSTRATE_FIELDS
+    )
+
+
+@dataclass(slots=True)
+class Substrate:
+    """The pre-loop artifacts one or more scenario runs share.
+
+    Holds the AS topology (site host ASes included), the facility
+    registry, the letter deployments, the Atlas VP population, the
+    botnet placement, and the BGPmon collector peers.  The topology,
+    VP, botnet, and collector tables are immutable during a run; the
+    deployments (announcement state, policy state, change logs) are
+    not, so :meth:`reset` restores them to their post-construction
+    state before each reuse.  Pure caches (routing tables per
+    announcement state, per-origin distance rows) are deliberately
+    kept across resets -- they are functions of immutable inputs, and
+    reusing them is what makes replicate runs cheap.
+    """
+
+    signature: tuple[object, ...]
+    topology: Topology
+    facilities: FacilityRegistry
+    deployments: dict[str, LetterDeployment]
+    specs: dict[str, LetterSpec]
+    letters: list[str]
+    vps: VantagePointTable
+    botnet: Botnet
+    collectors: BgpCollectors
+
+    def reset(self) -> None:
+        """Restore every mutable piece to its post-construction state."""
+        for letter in self.letters:
+            self.deployments[letter].reset()
+
+
+def build_substrate(config: ScenarioConfig) -> Substrate:
+    """Build the shared pre-loop artifacts for *config*.
+
+    Draws exactly the streams a plain :func:`simulate` call would
+    (``topology``, ``atlas.vps``, ``attack.botnet``, ``bgpmon.peers``),
+    so a substrate-reusing run is bit-identical to a standalone one.
+    """
+    rngs = RngFactory(config.seed)
     topology = build_topology(
         config.topology_config(), rngs.get("topology")
     )
@@ -246,8 +345,57 @@ def simulate(config: ScenarioConfig) -> ScenarioResult:
     collectors = build_collectors(
         topology, config.bgpmon, rngs.get("bgpmon.peers")
     )
+    if config.include_nl:
+        # Registration order matters for the facility spillover walk:
+        # .nl nodes join their facilities after every root site, same
+        # as the pre-substrate engine did.
+        register_nl_nodes(facilities, config.nl)
+    return Substrate(
+        signature=substrate_signature(config),
+        topology=topology,
+        facilities=facilities,
+        deployments=deployments,
+        specs=specs,
+        letters=letters,
+        vps=vps,
+        botnet=botnet,
+        collectors=collectors,
+    )
+
+
+def simulate(
+    config: ScenarioConfig, substrate: Substrate | None = None
+) -> ScenarioResult:
+    """Run the full scenario and return the dataset bundle.
+
+    With a *substrate* (see :func:`build_substrate`), the expensive
+    pre-loop artifacts are reused instead of rebuilt; the substrate is
+    reset first, and the outputs are bit-identical to a fresh build.
+    The substrate must have been built for a config with the same
+    :func:`substrate_signature`.
+    """
+    if substrate is None:
+        substrate = build_substrate(config)
+    elif substrate.signature != substrate_signature(config):
+        raise ValueError(
+            "substrate was built for a different scenario "
+            "configuration (substrate signatures differ)"
+        )
+    else:
+        substrate.reset()
+    rngs = RngFactory(config.seed)
+    grid = config.grid()
+
+    topology = substrate.topology
+    facilities = substrate.facilities
+    specs = substrate.specs
+    deployments = substrate.deployments
+    letters = substrate.letters
+    vps = substrate.vps
+    botnet = substrate.botnet
+    collectors = substrate.collectors
     nl = (
-        NlService(config.nl, grid, facilities)
+        NlService(config.nl, grid)
         if config.include_nl
         else None
     )

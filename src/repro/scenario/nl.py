@@ -44,6 +44,22 @@ class NlConfig:
             raise ValueError("anycast_share must be within (0, 0.5)")
 
 
+def register_nl_nodes(
+    facilities: FacilityRegistry, config: NlConfig
+) -> None:
+    """Register the co-located .nl nodes into the facility registry.
+
+    Done once at substrate build (the registry persists across reused
+    runs and rejects duplicate labels), after every root site has been
+    registered, so the spillover walk order matches the original
+    engine exactly.
+    """
+    for name, facility in COLOCATED_NODES:
+        facilities.register(
+            facility, name, config.node_capacity_qps, coupling=1.0
+        )
+
+
 class NlService:
     """Per-bin served query rates for every .nl node."""
 
@@ -51,7 +67,7 @@ class NlService:
         self,
         config: NlConfig,
         grid: TimeGrid,
-        facilities: FacilityRegistry,
+        facilities: FacilityRegistry | None = None,
     ) -> None:
         self.config = config
         self.grid = grid
@@ -62,10 +78,8 @@ class NlService:
         self.served = np.zeros(
             (grid.n_bins, len(self.node_labels)), dtype=np.float64
         )
-        for name, facility in COLOCATED_NODES:
-            facilities.register(
-                facility, name, config.node_capacity_qps, coupling=1.0
-            )
+        if facilities is not None:
+            register_nl_nodes(facilities, config)
 
     def node_offered(self, timestamp: float) -> dict[str, float]:
         """Offered .nl query rate per node at *timestamp*."""

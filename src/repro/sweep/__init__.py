@@ -1,0 +1,46 @@
+"""Deterministic parallel sweep engine.
+
+Runs grids of :class:`~repro.scenario.config.ScenarioConfig`
+variations (plus seed replication) across a process pool, with
+per-worker substrate caching, structured progress events, and
+replicate aggregation -- while guaranteeing outputs bit-identical to
+a serial run.  See ``docs/architecture.md`` ("Parallel sweeps").
+"""
+
+from .aggregate import CellSummary, MetricSummary, summarize
+from .metrics import cell_metrics
+from .progress import (
+    CELL_DONE,
+    SWEEP_DONE,
+    SWEEP_START,
+    ProgressCallback,
+    ProgressEvent,
+)
+from .runner import (
+    SweepResult,
+    default_chunk_size,
+    default_start_method,
+    run_sweep,
+    summaries_records,
+)
+from .spec import SweepCell, SweepSpec, replicate_seeds
+
+__all__ = [
+    "CELL_DONE",
+    "CellSummary",
+    "MetricSummary",
+    "ProgressCallback",
+    "ProgressEvent",
+    "SWEEP_DONE",
+    "SWEEP_START",
+    "SweepCell",
+    "SweepResult",
+    "SweepSpec",
+    "cell_metrics",
+    "default_chunk_size",
+    "default_start_method",
+    "replicate_seeds",
+    "run_sweep",
+    "summaries_records",
+    "summarize",
+]

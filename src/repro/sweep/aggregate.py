@@ -1,0 +1,133 @@
+"""Folding replicate runs of each sweep point into per-cell summaries.
+
+Each point's replicates collapse to a :class:`MetricSummary` per
+metric -- mean, sample standard deviation, and a normal-approximation
+95% confidence half-width -- while every replicate's
+:class:`~repro.faults.quality.DataQuality` report is *unioned*, not
+dropped: a degraded replicate leaves its mark on the summary, with
+flags deduplicated across replicates that degraded identically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from ..faults.quality import DataQuality
+from .metrics import cell_metrics
+from .spec import Overrides, SweepSpec
+
+if TYPE_CHECKING:
+    from ..scenario.engine import ScenarioResult
+
+#: Two-sided 95% normal quantile; with few replicates the interval is
+#: the normal approximation, not a t-interval.
+Z_95 = 1.959963984540054
+
+
+@dataclass(frozen=True, slots=True)
+class MetricSummary:
+    """One metric folded over a point's replicates."""
+
+    mean: float
+    std: float        # sample std (ddof=1); 0.0 for a single replicate
+    ci95_half: float  # Z_95 * std / sqrt(n), normal approximation
+    n: int
+    values: tuple[float, ...]  # per-replicate values, seed order
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "MetricSummary":
+        vals = tuple(float(v) for v in values)
+        if not vals:
+            raise ValueError("cannot summarize zero values")
+        n = len(vals)
+        mean = math.fsum(vals) / n
+        if n > 1:
+            var = math.fsum((v - mean) ** 2 for v in vals) / (n - 1)
+            std = math.sqrt(var)
+        else:
+            std = 0.0
+        return cls(
+            mean=mean,
+            std=std,
+            ci95_half=Z_95 * std / math.sqrt(n),
+            n=n,
+            values=vals,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class CellSummary:
+    """One sweep point folded over its replicate seeds."""
+
+    point_index: int
+    overrides: Overrides
+    seeds: tuple[int, ...]
+    metrics: dict[str, MetricSummary]
+    quality: DataQuality
+
+    def as_record(self) -> dict[str, object]:
+        """A flat JSON-friendly rendering (for run_paper / the CLI)."""
+        record: dict[str, object] = {
+            "point": self.point_index,
+            "overrides": {name: repr(value) for name, value in self.overrides},
+            "seeds": list(self.seeds),
+            "quality_flags": [str(flag) for flag in self.quality],
+        }
+        record["metrics"] = {
+            name: {
+                "mean": summary.mean,
+                "std": summary.std,
+                "ci95_half": summary.ci95_half,
+                "n": summary.n,
+            }
+            for name, summary in self.metrics.items()
+        }
+        return record
+
+
+def summarize(
+    spec: SweepSpec, results: Sequence[ScenarioResult]
+) -> tuple[CellSummary, ...]:
+    """Per-point summaries from index-ordered sweep *results*.
+
+    *results* must be the runner's output: one result per cell, in
+    cell-index order (seeds outermost).  Replicates of each point are
+    folded in seed order, so the summary is a pure function of the
+    spec -- independent of execution interleaving.
+    """
+    if len(results) != spec.n_cells:
+        raise ValueError(
+            f"expected {spec.n_cells} results, got {len(results)}"
+        )
+    seeds = spec.effective_seeds()
+    summaries: list[CellSummary] = []
+    for point_index in range(spec.n_points):
+        replicates = [
+            results[seed_index * spec.n_points + point_index]
+            for seed_index in range(spec.n_seeds)
+        ]
+        per_rep = [cell_metrics(r) for r in replicates]
+        names = list(per_rep[0])
+        for rep in per_rep[1:]:
+            if list(rep) != names:
+                raise ValueError(
+                    "replicates of one point produced different "
+                    "metric sets; cannot aggregate"
+                )
+        summaries.append(
+            CellSummary(
+                point_index=point_index,
+                overrides=spec.points[point_index],
+                seeds=seeds,
+                metrics={
+                    name: MetricSummary.of([rep[name] for rep in per_rep])
+                    for name in names
+                },
+                quality=DataQuality().union(
+                    *(r.quality for r in replicates)
+                ),
+            )
+        )
+    return tuple(summaries)

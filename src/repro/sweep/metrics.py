@@ -1,0 +1,68 @@
+"""Scalar per-cell metrics extracted from a :class:`ScenarioResult`.
+
+The sweep aggregator folds replicate runs of one point into
+mean/CI summaries; this module defines which scalars get folded.  The
+set mirrors what the paper's figures quantify: legitimate-traffic
+availability (the Fig. 3 reachability story), offered-weighted loss
+and queueing delay (Figs. 6-7), and BGP churn (Figs. 8-9).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from ..scenario.engine import ScenarioResult
+
+
+def _weighted_mean(values: np.ndarray, weights: np.ndarray) -> float:
+    total = float(weights.sum())
+    if total <= 0.0:
+        return 0.0
+    return float((values * weights).sum() / total)
+
+
+def cell_metrics(result: ScenarioResult) -> dict[str, float]:
+    """Deterministic scalar metrics for one simulated cell.
+
+    Per letter: ``{L}/availability`` (legitimate served over offered),
+    ``{L}/mean_loss`` and ``{L}/mean_delay_ms`` (offered-weighted over
+    all site-bins), ``{L}/route_changes`` (total BGPmon-visible
+    transitions).  Plus the cross-letter ``availability`` and
+    ``mean_loss`` rollups.  Keys are identical for every replicate of
+    a point, which is what lets the aggregator fold them.
+    """
+    metrics: dict[str, float] = {}
+    total_offered = 0.0
+    total_served = 0.0
+    loss_sum = 0.0
+    weight_sum = 0.0
+    for letter in result.letters:
+        truth = result.truth[letter]
+        offered = float(truth.legit_offered_qps.sum())
+        served = float(truth.legit_served_qps.sum())
+        metrics[f"{letter}/availability"] = (
+            served / offered if offered > 0.0 else 1.0
+        )
+        metrics[f"{letter}/mean_loss"] = _weighted_mean(
+            truth.loss, truth.offered_qps
+        )
+        metrics[f"{letter}/mean_delay_ms"] = _weighted_mean(
+            truth.delay_ms, truth.offered_qps
+        )
+        metrics[f"{letter}/route_changes"] = float(
+            np.asarray(result.route_changes[letter]).sum()
+        )
+        total_offered += offered
+        total_served += served
+        loss_sum += float((truth.loss * truth.offered_qps).sum())
+        weight_sum += float(truth.offered_qps.sum())
+    metrics["availability"] = (
+        total_served / total_offered if total_offered > 0.0 else 1.0
+    )
+    metrics["mean_loss"] = (
+        loss_sum / weight_sum if weight_sum > 0.0 else 0.0
+    )
+    return metrics

@@ -1,0 +1,41 @@
+"""Structured progress events streamed by the sweep runner.
+
+The runner emits one ``sweep-start`` event, one ``cell-done`` event
+per finished cell (in *completion* order -- the only place completion
+order is visible; results themselves are keyed by cell index), and a
+final ``sweep-done``.  Consumers get them through a plain callback,
+so the CLI can render a ticker and tests can record the stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+#: Event kinds, in lifecycle order.
+SWEEP_START = "sweep-start"
+CELL_DONE = "cell-done"
+SWEEP_DONE = "sweep-done"
+
+
+@dataclass(frozen=True, slots=True)
+class ProgressEvent:
+    """One step of a sweep's execution."""
+
+    kind: str            # SWEEP_START | CELL_DONE | SWEEP_DONE
+    completed: int       # cells finished so far (== total when done)
+    total: int           # cells in the sweep
+    index: int | None = None   # finished cell's index (CELL_DONE only)
+    label: str = ""            # finished cell's label (CELL_DONE only)
+    elapsed_s: float = 0.0     # wall time since the sweep started
+
+    def __str__(self) -> str:
+        if self.kind == CELL_DONE:
+            return (
+                f"[{self.completed}/{self.total}] {self.label} "
+                f"({self.elapsed_s:.1f}s)"
+            )
+        return f"{self.kind}: {self.completed}/{self.total} cells"
+
+
+ProgressCallback = Callable[[ProgressEvent], None]

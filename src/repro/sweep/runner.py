@@ -1,0 +1,192 @@
+"""The sweep runner: serial or process-parallel, bit-identical either way.
+
+Determinism contract
+--------------------
+
+* Cells are enumerated by the spec (seeds outermost); every result
+  lands in an index-keyed slot, never appended in completion order.
+* Workers receive pickled cell copies; the serial path pickles too
+  (:func:`~repro.sweep.worker.run_chunk_serial`), so both paths see
+  identical inputs.
+* Each cell's simulation draws only from RNG streams derived from its
+  own config seed; substrate reuse inside a worker is proven
+  bit-identical to a fresh build.
+
+Hence ``run_sweep(spec, jobs=N)`` returns bit-identical results for
+every ``N``; only the progress-event interleaving and wall times vary.
+``tests/sweep/test_parallel_golden.py`` asserts this against the
+golden fixture.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from .aggregate import CellSummary, summarize
+from .progress import (
+    CELL_DONE,
+    SWEEP_DONE,
+    SWEEP_START,
+    ProgressCallback,
+    ProgressEvent,
+)
+from .spec import SweepCell, SweepSpec
+from .worker import init_worker, run_chunk, run_chunk_serial
+
+if TYPE_CHECKING:
+    from ..scenario.engine import ScenarioResult
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """Everything a finished sweep produced.
+
+    ``results`` is in cell-index order (identical for any worker
+    count); ``summaries`` is in point order with replicates folded.
+    ``elapsed_s`` is telemetry only and never feeds back into any
+    simulated quantity.
+    """
+
+    spec: SweepSpec
+    cells: tuple[SweepCell, ...]
+    results: list[ScenarioResult]
+    summaries: tuple[CellSummary, ...]
+    jobs: int
+    elapsed_s: float
+
+    def result_of(self, index: int) -> ScenarioResult:
+        return self.results[index]
+
+
+def default_start_method() -> str:
+    """``fork`` where available (cheap, shares the loaded code), else
+    ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def default_chunk_size(n_cells: int, jobs: int) -> int:
+    """Contiguous cells per task: ~4 tasks per worker for balance,
+    while keeping chunks long enough to hit the substrate cache."""
+    return max(1, math.ceil(n_cells / max(1, jobs * 4)))
+
+
+def _chunks(
+    cells: tuple[SweepCell, ...], chunk_size: int
+) -> list[tuple[SweepCell, ...]]:
+    return [
+        cells[start : start + chunk_size]
+        for start in range(0, len(cells), chunk_size)
+    ]
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    jobs: int = 1,
+    chunk_size: int | None = None,
+    progress: ProgressCallback | None = None,
+    start_method: str | None = None,
+) -> SweepResult:
+    """Run every cell of *spec* and fold replicates into summaries.
+
+    ``jobs=1`` runs inline; ``jobs>1`` uses a ``ProcessPoolExecutor``
+    with a per-worker substrate cache.  Outputs are bit-identical
+    across ``jobs`` values.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    cells = spec.cells()
+    if chunk_size is None:
+        chunk_size = default_chunk_size(len(cells), jobs)
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    chunks = _chunks(cells, chunk_size)
+    labels = {cell.index: cell.label for cell in cells}
+
+    started = time.perf_counter()  # repro: noqa DET003 -- progress/telemetry only; never reaches simulated outputs
+
+    def _elapsed() -> float:
+        return time.perf_counter() - started  # repro: noqa DET003 -- progress/telemetry only; never reaches simulated outputs
+
+    def _emit(event: ProgressEvent) -> None:
+        if progress is not None:
+            progress(event)
+
+    _emit(
+        ProgressEvent(
+            kind=SWEEP_START, completed=0, total=len(cells)
+        )
+    )
+    slots: list[ScenarioResult | None] = [None] * len(cells)
+    completed = 0
+
+    def _store(index: int, result: ScenarioResult) -> None:
+        nonlocal completed
+        if slots[index] is not None:
+            raise RuntimeError(f"cell {index} produced twice")
+        slots[index] = result
+        completed += 1
+        _emit(
+            ProgressEvent(
+                kind=CELL_DONE,
+                completed=completed,
+                total=len(cells),
+                index=index,
+                label=labels[index],
+                elapsed_s=_elapsed(),
+            )
+        )
+
+    if jobs == 1:
+        for chunk in chunks:
+            for index, result in run_chunk_serial(chunk):
+                _store(index, result)
+    else:
+        context = multiprocessing.get_context(
+            start_method or default_start_method()
+        )
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=context,
+            initializer=init_worker,
+        ) as pool:
+            futures = [pool.submit(run_chunk, chunk) for chunk in chunks]
+            for future in as_completed(futures):
+                for index, result in future.result():
+                    _store(index, result)
+
+    missing = [i for i, slot in enumerate(slots) if slot is None]
+    if missing:
+        raise RuntimeError(f"cells never completed: {missing}")
+    results: list[ScenarioResult] = [slot for slot in slots if slot is not None]
+    summaries = summarize(spec, results)
+    elapsed = _elapsed()
+    _emit(
+        ProgressEvent(
+            kind=SWEEP_DONE,
+            completed=len(cells),
+            total=len(cells),
+            elapsed_s=elapsed,
+        )
+    )
+    return SweepResult(
+        spec=spec,
+        cells=cells,
+        results=results,
+        summaries=summaries,
+        jobs=jobs,
+        elapsed_s=elapsed,
+    )
+
+
+def summaries_records(
+    summaries: Sequence[CellSummary],
+) -> list[dict[str, object]]:
+    """JSON-friendly per-cell summary records (for files and the CLI)."""
+    return [summary.as_record() for summary in summaries]

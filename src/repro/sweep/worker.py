@@ -1,0 +1,81 @@
+"""Pool-worker side of the sweep runner.
+
+Each worker process keeps a small cache of
+:class:`~repro.scenario.engine.Substrate` objects keyed by
+:func:`~repro.scenario.engine.substrate_signature`: consecutive cells
+that differ only in run-time knobs (events, overload model,
+controllers, faults) reuse the expensive topology/deployment/VP build
+instead of repeating it.  Substrate reuse is bit-identical to a fresh
+build (``tests/scenario/test_substrate.py``), so caching cannot change
+any output.
+
+Fault-stream isolation: each cell's ``FaultPlan`` is resolved inside
+:func:`~repro.scenario.engine.simulate` from a fresh
+:class:`~repro.util.rng.RngFactory` seeded with that cell's own seed
+-- the worker holds no shared fault RNG, so a cell's fault draws are
+a pure function of its config, wherever it runs.
+
+The serial (``jobs=1``) path goes through :func:`run_chunk_serial`,
+which pickle-roundtrips the chunk first: worker processes only ever
+see pickled copies of cell configs, and mirroring that inline keeps
+stateful objects inside a config (e.g. defense controllers, which
+accumulate per-run state) from leaking between cells or back into the
+caller's spec.  That is what makes ``jobs=1`` and ``jobs=N``
+bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import TYPE_CHECKING
+
+from ..scenario.engine import Substrate, build_substrate, simulate
+from ..scenario.engine import substrate_signature
+
+if TYPE_CHECKING:
+    from ..scenario.engine import ScenarioResult
+    from .spec import SweepCell
+
+#: Per-process substrate cache; signature -> substrate.  Bounded: a
+#: chunk walks cells in index order, so only the most recent
+#: signatures are worth keeping.
+_SUBSTRATE_CACHE: dict[tuple[object, ...], Substrate] = {}
+_CACHE_MAX = 4
+
+
+def init_worker() -> None:
+    """Process-pool initializer: start with an empty substrate cache."""
+    _SUBSTRATE_CACHE.clear()
+
+
+def _substrate_for(cell: SweepCell) -> Substrate:
+    signature = substrate_signature(cell.config)
+    substrate = _SUBSTRATE_CACHE.get(signature)
+    if substrate is None:
+        substrate = build_substrate(cell.config)
+        while len(_SUBSTRATE_CACHE) >= _CACHE_MAX:
+            _SUBSTRATE_CACHE.pop(next(iter(_SUBSTRATE_CACHE)))
+        _SUBSTRATE_CACHE[signature] = substrate
+    return substrate
+
+
+def run_chunk(
+    cells: tuple[SweepCell, ...],
+) -> list[tuple[int, ScenarioResult]]:
+    """Simulate one chunk of cells; results keyed by cell index."""
+    return [
+        (cell.index, simulate(cell.config, _substrate_for(cell)))
+        for cell in cells
+    ]
+
+
+def run_chunk_serial(
+    cells: tuple[SweepCell, ...],
+) -> list[tuple[int, ScenarioResult]]:
+    """Inline chunk execution mirroring the process boundary.
+
+    The chunk is pickle-roundtripped before running, exactly as a pool
+    worker would receive it, so the serial path sees the same fresh
+    config copies as the parallel one.
+    """
+    return run_chunk(pickle.loads(pickle.dumps(cells)))

@@ -132,3 +132,37 @@ class TestDataQuality:
         merged = q.merged(self._report())
         assert len(merged) == 4
         assert merged.metrics() == frozenset({"truth", "atlas", "rssac"})
+
+    def test_merged_keeps_duplicates(self):
+        q = self._report()
+        assert len(q.merged(q)) == 2 * len(q)
+
+    def test_union_deduplicates(self):
+        q = self._report()
+        assert q.union(q) == q
+        assert q.union(q, q, DataQuality()) == q
+
+    def test_union_preserves_first_occurrence_order(self):
+        a = DataQuality(
+            flags=(
+                QualityFlag(metric="truth", detail="site failed"),
+                QualityFlag(metric="atlas", detail="dropout"),
+            )
+        )
+        b = DataQuality(
+            flags=(
+                QualityFlag(metric="atlas", detail="dropout"),
+                QualityFlag(metric="rssac", detail="missing", letter="K"),
+            )
+        )
+        combined = a.union(b)
+        assert combined.flags == (
+            QualityFlag(metric="truth", detail="site failed"),
+            QualityFlag(metric="atlas", detail="dropout"),
+            QualityFlag(metric="rssac", detail="missing", letter="K"),
+        )
+        # Seed-dependent flags (differing spans) survive verbatim.
+        c = DataQuality(
+            flags=(QualityFlag(metric="atlas", detail="dropout", bins=(0, 3)),)
+        )
+        assert len(a.union(c)) == 3

@@ -113,7 +113,11 @@ class TestEdgeCases:
     def test_utilisation_exactly_at_overload_rho(self, model):
         # The engine flags a site overloaded only strictly above
         # OVERLOAD_RHO; at exactly that utilisation the model yields
-        # the saturation loss and the flag stays off.
+        # the saturation loss and the flag stays off.  Just past
+        # saturation the excess-traffic formula (1 - 1/rho) still sits
+        # below the early-loss ramp's endpoint, so the loss is floored
+        # at EARLY_LOSS_MAX to stay monotone in load.
+        from repro.netsim.queueing import EARLY_LOSS_MAX
         from repro.scenario.engine import OVERLOAD_RHO
 
         capacity = 100_000.0
@@ -122,7 +126,15 @@ class TestEdgeCases:
         )
         assert rho[0] == pytest.approx(OVERLOAD_RHO)
         assert not (rho > OVERLOAD_RHO).any()
-        assert loss[0] == pytest.approx(1.0 - 1.0 / OVERLOAD_RHO)
+        assert 1.0 - 1.0 / OVERLOAD_RHO < EARLY_LOSS_MAX
+        assert loss[0] == pytest.approx(EARLY_LOSS_MAX)
+
+    def test_loss_monotone_through_saturation(self, model):
+        # The dense sweep that used to dip: ramp endpoint vs the start
+        # of the excess-traffic branch, around rho in [0.99, 1.06].
+        rhos = np.linspace(0.95, 1.2, 50_001)
+        losses = model._loss_from_rho(rhos)
+        assert (np.diff(losses) >= 0.0).all()
 
     def test_loss_clipped_to_unit_interval(self, model):
         rhos = np.array([0.0, 0.95, 0.999999, 1.0, 1e9, np.inf])

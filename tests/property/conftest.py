@@ -1,0 +1,19 @@
+"""Hypothesis configuration for the property-based test layer.
+
+CI runs this suite with ``--hypothesis-seed=0`` so a failing example
+reproduces identically across machines.  The profile itself disables
+deadlines (topology construction dominates runtime and varies with
+machine load, which would make deadline failures flaky) and keeps the
+example count modest -- these properties guard invariants, they are
+not fuzzers.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,71 @@
+"""Properties of the site overload model (:mod:`repro.netsim.queueing`).
+
+The paper's "degraded absorber" story (section 2.2) only holds if the
+model behaves like a physical bottleneck: pushing more load at a site
+can never *increase* the fraction of queries it answers, loss is a
+fraction, and queueing delay never exceeds the buffer drain time.
+Hypothesis explores the full validated parameter space, including the
+``loss_knee == 1`` edge where the early-loss ramp vanishes and the
+saturated branch starts from zero.
+"""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.queueing import OverloadModel
+
+#: Every parameter combination the model's own validation accepts.
+models = st.builds(
+    OverloadModel,
+    service_ms=st.floats(0.01, 10.0),
+    buffer_ms=st.floats(1.0, 5000.0),
+    loss_knee=st.floats(0.5, 1.0),
+)
+
+#: Ascending utilisation grids spanning idle through deep overload,
+#: always straddling the knee region where the branches meet.
+load_grids = st.lists(
+    st.floats(0.0, 50.0), min_size=2, max_size=64
+).map(lambda values: np.array(sorted(values + [0.9, 1.0, 1.1])))
+
+
+@given(model=models, offered=load_grids)
+def test_response_monotone_non_increasing_in_load(model, offered):
+    # The answered fraction (1 - loss) can only fall as load rises:
+    # the branch boundaries at the knee and at saturation must not
+    # introduce a dip.
+    _, loss, _ = model.evaluate(offered, np.ones_like(offered))
+    response = 1.0 - loss
+    assert (np.diff(response) <= 1e-12).all(), response
+
+
+@given(model=models, offered=load_grids)
+def test_loss_clipped_to_unit_interval(model, offered):
+    _, loss, _ = model.evaluate(offered, np.ones_like(offered))
+    assert (loss >= 0.0).all()
+    assert (loss <= 1.0).all()
+
+
+@given(model=models, offered=load_grids)
+def test_delay_non_negative_and_buffer_bounded(model, offered):
+    _, _, delay = model.evaluate(offered, np.ones_like(offered))
+    assert (delay >= 0.0).all()
+    assert (delay <= model.buffer_ms).all()
+
+
+@given(
+    model=models,
+    offered=st.floats(0.0, 50.0),
+    capacity=st.floats(0.1, 1000.0),
+)
+def test_scalar_api_matches_vectorised(model, offered, capacity):
+    # The engine uses evaluate(); diagnostics use the scalar helpers.
+    # They must agree exactly or golden comparisons would depend on
+    # which path produced a number.
+    grid = np.array([offered])
+    cap = np.array([capacity])
+    rho, loss, delay = model.evaluate(grid, cap)
+    assert model.utilisation(offered, capacity) == rho[0]
+    assert model.loss_fraction(offered, capacity) == loss[0]
+    assert model.queue_delay_ms(offered, capacity) == delay[0]

@@ -1,0 +1,107 @@
+"""Substrate reuse must be bit-identical to a fresh build.
+
+The sweep engine's per-worker cache rests entirely on this contract:
+``simulate(config, substrate)`` after ``substrate.reset()`` produces
+exactly the outputs of ``simulate(config)`` -- including policy churn,
+standby activation, BGP change logs, and fault resolution.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import FaultPlan, SiteFailure
+from repro.scenario import (
+    ScenarioConfig,
+    build_substrate,
+    diff_arrays,
+    result_arrays,
+    simulate,
+    substrate_signature,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    # H brings a standby site (reset must replay its initial
+    # withdrawal); K brings partial withdrawal churn.
+    return ScenarioConfig(
+        seed=11, n_stubs=60, n_vps=30, letters=("H", "K"),
+        include_nl=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def fresh(config):
+    return result_arrays(simulate(config))
+
+
+class TestSubstrateReuse:
+    def test_first_use_matches_fresh_build(self, config, fresh):
+        substrate = build_substrate(config)
+        assert not diff_arrays(
+            fresh, result_arrays(simulate(config, substrate))
+        )
+
+    def test_reuse_after_full_run_matches(self, config, fresh):
+        substrate = build_substrate(config)
+        simulate(config, substrate)  # dirty every mutable piece
+        assert not diff_arrays(
+            fresh, result_arrays(simulate(config, substrate))
+        )
+
+    def test_reuse_with_faults_matches(self, config):
+        plan = FaultPlan(
+            specs=(
+                SiteFailure(
+                    letter="K", site="AMS",
+                    start=config.window_start + 12 * 3600,
+                    duration_s=2 * 3600, severity=1.0,
+                ),
+            )
+        )
+        faulted = dataclasses.replace(config, faults=plan)
+        standalone = simulate(faulted)
+        substrate = build_substrate(faulted)
+        simulate(faulted, substrate)
+        again = simulate(faulted, substrate)
+        assert not diff_arrays(
+            result_arrays(standalone), result_arrays(again)
+        )
+        assert standalone.quality == again.quality
+
+    def test_run_knobs_share_a_signature(self, config):
+        # Fields the substrate does not depend on (events, window,
+        # faults, controllers) leave the signature unchanged...
+        quiet = dataclasses.replace(
+            config, events=(), baseline_days=3
+        )
+        assert substrate_signature(quiet) == substrate_signature(config)
+
+    def test_substrate_knobs_change_the_signature(self, config):
+        for override in ({"seed": 12}, {"n_stubs": 61},
+                         {"letters": ("K",)}, {"include_nl": False}):
+            other = dataclasses.replace(config, **override)
+            assert (
+                substrate_signature(other) != substrate_signature(config)
+            ), override
+
+    def test_mismatched_substrate_rejected(self, config):
+        substrate = build_substrate(config)
+        other = dataclasses.replace(config, seed=12)
+        with pytest.raises(ValueError, match="different scenario"):
+            simulate(other, substrate)
+
+    def test_run_knob_change_reuses_substrate(self, config, fresh):
+        # A config differing only in run knobs may reuse the substrate
+        # and still matches its own fresh build.
+        substrate = build_substrate(config)
+        quiet = dataclasses.replace(config, events=())
+        via_substrate = result_arrays(simulate(quiet, substrate))
+        assert not diff_arrays(
+            result_arrays(simulate(quiet)), via_substrate
+        )
+        # ... and the substrate still reproduces the original config.
+        assert not diff_arrays(
+            fresh, result_arrays(simulate(config, substrate))
+        )

@@ -1,0 +1,14 @@
+"""Shared sweep-test fixtures: one tiny, fast scenario base."""
+
+import pytest
+
+from repro import ScenarioConfig
+
+
+@pytest.fixture(scope="session")
+def tiny_base():
+    """Small two-letter scenario; a few hundred ms per simulate."""
+    return ScenarioConfig(
+        seed=7, n_stubs=50, n_vps=30, letters=("A", "K"),
+        include_nl=False,
+    )

@@ -1,0 +1,67 @@
+"""Replicate aggregation: metric folding and quality-flag union."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import FaultPlan, RssacOutage
+from repro.sweep import MetricSummary, SweepSpec, run_sweep, summarize
+from repro.sweep.aggregate import Z_95
+
+
+class TestMetricSummary:
+    def test_single_value(self):
+        summary = MetricSummary.of([0.5])
+        assert summary.mean == 0.5
+        assert summary.std == 0.0
+        assert summary.ci95_half == 0.0
+        assert summary.n == 1
+
+    def test_mean_std_ci(self):
+        summary = MetricSummary.of([1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.std == pytest.approx(1.0)
+        assert summary.ci95_half == pytest.approx(Z_95 / 3**0.5)
+        assert summary.values == (1.0, 2.0, 3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MetricSummary.of([])
+
+
+class TestSummarize:
+    def test_result_count_checked(self, tiny_base):
+        spec = SweepSpec.grid(tiny_base, {}, replicates=2)
+        with pytest.raises(ValueError, match="expected 2 results"):
+            summarize(spec, [])
+
+    def test_quality_flags_unioned_not_dropped(self, tiny_base):
+        # Every replicate loses K's RSSAC day identically; the summary
+        # keeps the flag exactly once instead of dropping it or
+        # repeating it per seed.
+        plan = FaultPlan(
+            specs=(
+                RssacOutage(
+                    letter="K",
+                    start=tiny_base.window_start,
+                    duration_s=86_400,
+                ),
+            )
+        )
+        base = dataclasses.replace(tiny_base, faults=plan)
+        spec = SweepSpec.grid(base, {}, replicates=2)
+        sweep = run_sweep(spec, jobs=1)
+        assert all(r.quality.degraded for r in sweep.results)
+        (summary,) = sweep.summaries
+        assert summary.quality.degraded
+        per_run_flags = sweep.results[0].quality.flags
+        assert summary.quality.flags == per_run_flags
+
+    def test_record_rendering(self, tiny_base):
+        spec = SweepSpec.grid(tiny_base, {"baseline_days": [3]})
+        sweep = run_sweep(spec, jobs=1)
+        record = sweep.summaries[0].as_record()
+        assert record["point"] == 0
+        assert record["overrides"] == {"baseline_days": "3"}
+        assert "availability" in record["metrics"]
+        assert record["metrics"]["availability"]["n"] == 1

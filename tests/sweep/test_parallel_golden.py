@@ -1,0 +1,55 @@
+"""Parallel-vs-serial golden test (the sweep determinism gate).
+
+Runs the pinned golden scenario through the sweep runner with
+``jobs=1`` and ``jobs=4`` and requires every output array bit-identical
+to the ``tests/scenario/golden/golden_engine.npz`` fixture -- the same
+fixture the engine's own golden-equivalence test uses.  This is the
+CI proof that neither process pools, nor chunking, nor the per-worker
+substrate cache changes a single bit of simulated output.
+"""
+
+import pathlib
+import sys
+
+import numpy as np
+import pytest
+
+from repro.scenario import result_arrays
+from repro.sweep import SweepSpec, run_sweep
+
+FIXTURE = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "scenario" / "golden" / "golden_engine.npz"
+)
+SCRIPTS = str(
+    pathlib.Path(__file__).resolve().parent.parent.parent / "scripts"
+)
+
+
+def _golden_spec():
+    sys.path.insert(0, SCRIPTS)
+    try:
+        from make_golden import golden_config
+    finally:
+        sys.path.remove(SCRIPTS)
+    return SweepSpec.from_points(golden_config(), [{}])
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return np.load(FIXTURE)
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_sweep_output_matches_golden_fixture(golden, jobs):
+    sweep = run_sweep(_golden_spec(), jobs=jobs)
+    arrays = result_arrays(sweep.results[0])
+    assert set(golden.files) == set(arrays)
+    mismatched = [
+        name
+        for name in golden.files
+        if not np.array_equal(
+            golden[name], np.asarray(arrays[name]), equal_nan=True
+        )
+    ]
+    assert not mismatched, f"jobs={jobs} diverged: {mismatched}"

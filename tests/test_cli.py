@@ -83,3 +83,30 @@ class TestCommands:
         capsys.readouterr()
         assert main(["analyze", str(out), "--figure", figure]) == 0
         assert capsys.readouterr().out.strip()
+
+    def test_sweep_writes_summary_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "summaries.json"
+        assert main([
+            "sweep", "--stubs", "50", "--vps", "30", "--seed", "7",
+            "--letters", "A,K", "--axis", "baseline_days=3,7",
+            "--replicates", "2", "--jobs", "1", "--quiet",
+            "--out", str(out),
+        ]) == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert payload["n_points"] == 2
+        assert payload["n_seeds"] == 2
+        assert len(payload["summaries"]) == 2
+        metrics = payload["summaries"][0]["metrics"]
+        assert metrics["availability"]["n"] == 2
+
+    def test_sweep_axis_parsing(self):
+        from repro.cli import _parse_axis
+
+        name, values = _parse_axis("baseline_days=3,7")
+        assert name == "baseline_days"
+        assert values == [3, 7]
+        name, values = _parse_axis("include_nl=True,False")
+        assert values == [True, False]
