@@ -1,7 +1,7 @@
 """Network substrate: AS graph, BGP propagation, topology, overload."""
 
 from .anycast import AnycastPrefix, RouteChangeRecord
-from .asgraph import ASGraph, AsNode, AsRole, Relationship
+from .asgraph import ASGraph, AsNode, AsRole, CompiledGraph, Relationship
 from .bgp import (
     Origin,
     Route,
@@ -10,6 +10,7 @@ from .bgp import (
     Scope,
     propagate,
 )
+from .bgp_reference import propagate as propagate_reference
 from .queueing import OverloadModel
 from .topology import (
     ATLAS_REGION_WEIGHTS,
@@ -25,6 +26,7 @@ __all__ = [
     "AnycastPrefix",
     "AsNode",
     "AsRole",
+    "CompiledGraph",
     "Origin",
     "OverloadModel",
     "Relationship",
@@ -38,4 +40,5 @@ __all__ = [
     "TopologyConfig",
     "build_topology",
     "propagate",
+    "propagate_reference",
 ]

@@ -9,10 +9,18 @@ sets recur (before/during/after each event).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from .asgraph import ASGraph
 from .bgp import Origin, RoutingTable, propagate
+
+#: Default bound of the per-prefix routing-table cache.  Policy loops
+#: cycle through a handful of announcement states, but fault-injected
+#: runs (BgpSessionReset flapping different sites every bin) can visit
+#: arbitrarily many distinct states; an unbounded cache would retain
+#: every table for the life of a sweep worker.
+DEFAULT_CACHE_SIZE = 64
 
 
 @dataclass(frozen=True, slots=True)
@@ -26,9 +34,16 @@ class RouteChangeRecord:
 class AnycastPrefix:
     """The announcement state of one anycast service (one letter)."""
 
-    def __init__(self, graph: ASGraph, origins: list[Origin]) -> None:
+    def __init__(
+        self,
+        graph: ASGraph,
+        origins: list[Origin],
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
         if not origins:
             raise ValueError("an anycast prefix needs at least one origin")
+        if cache_size < 1:
+            raise ValueError("cache_size must be at least 1")
         sites = [o.site for o in origins]
         if len(set(sites)) != len(sites):
             raise ValueError("duplicate site ids among origins")
@@ -38,7 +53,8 @@ class AnycastPrefix:
         self._blocked: dict[str, frozenset[int]] = {
             o.site: o.blocked_neighbors for o in origins
         }
-        self._cache: dict[tuple, RoutingTable] = {}
+        self._cache: OrderedDict[tuple, RoutingTable] = OrderedDict()
+        self._cache_size = cache_size
         self._current: RoutingTable | None = None
         self._change_log: list[RouteChangeRecord] = []
 
@@ -82,11 +98,16 @@ class AnycastPrefix:
 
         The returned table carries a stable ``version`` token (see
         :class:`~repro.netsim.bgp.RoutingTable`): recurring
-        announcement states return the *same* table object, so callers
-        can key their own caches on ``table.version``.  The current
-        table is additionally memoized until the next announce /
-        withdraw / block change, making per-bin ``routing()`` calls
-        O(1).
+        announcement states return the *same* table object (while it
+        stays cached), so callers can key their own caches on
+        ``table.version``.  The current table is additionally memoized
+        until the next announce / withdraw / block change, making
+        per-bin ``routing()`` calls O(1).
+
+        The cache is a bounded LRU (*cache_size* states): recomputing
+        an evicted state yields a table with identical routes but a
+        fresh ``version``, so downstream version-keyed caches recompute
+        the same derived values -- eviction never changes outputs.
         """
         if self._current is not None:
             return self._current
@@ -103,6 +124,10 @@ class AnycastPrefix:
                 else RoutingTable({})
             )
             self._cache[key] = table
+            if len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        else:
+            self._cache.move_to_end(key)
         self._current = table
         return table
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
@@ -56,6 +57,69 @@ class AsNode:
             raise ValueError(f"ASNs are positive integers: {self.asn}")
 
 
+def _frozen(array: np.ndarray) -> np.ndarray:
+    """Mark *array* read-only and return it (compiled views are shared)."""
+    array.flags.writeable = False
+    return array
+
+
+#: Relationship -> int8 code used by :attr:`CompiledGraph.all_rel`.
+_REL_CODES: dict[Relationship, int] = {
+    Relationship.CUSTOMER: 0,
+    Relationship.PROVIDER: 1,
+    Relationship.PEER: 2,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class CompiledGraph:
+    """An immutable CSR view of one :class:`ASGraph` structure version.
+
+    Rows are ASes in graph insertion order (``asn_of[row]`` is the ASN,
+    ``row_of[asn]`` the row).  For each business relationship there is
+    one CSR adjacency: ``provider_indices[provider_indptr[i]:
+    provider_indptr[i + 1]]`` are the rows of AS *i*'s transit
+    providers, in the order the links were added -- the same order the
+    scalar reference implementation visits them, which the array
+    kernel's deterministic tie-breaking relies on.
+
+    Obtained from :meth:`ASGraph.compiled`, which caches one instance
+    per :attr:`ASGraph.version`; all arrays are read-only.
+    """
+
+    version: int
+    asn_of: np.ndarray            # int64: row -> ASN
+    row_of: dict[int, int]        # ASN -> row
+    provider_indptr: np.ndarray   # int64, len n+1
+    provider_indices: np.ndarray  # int32 rows
+    peer_indptr: np.ndarray
+    peer_indices: np.ndarray
+    customer_indptr: np.ndarray
+    customer_indices: np.ndarray
+    #: Combined adjacency (all relationships, link-insertion order),
+    #: with the relationship of each neighbor encoded per
+    #: :data:`_REL_CODES`: 0 customer, 1 provider, 2 peer.
+    all_indptr: np.ndarray
+    all_indices: np.ndarray
+    all_rel: np.ndarray           # int8 codes aligned to all_indices
+    _sorted_asns: np.ndarray      # int64, ascending (for rows_of)
+    _sorted_rows: np.ndarray      # int64, rows aligned to _sorted_asns
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.asn_of.size)
+
+    def rows_of(self, asns: Iterable[int] | np.ndarray) -> np.ndarray:
+        """Vectorized ASN -> row lookup; ``-1`` for unknown ASNs."""
+        arr = np.asarray(asns, dtype=np.int64)
+        if self._sorted_asns.size == 0:
+            return np.full(arr.shape, -1, dtype=np.int64)
+        pos = np.searchsorted(self._sorted_asns, arr)
+        pos = np.clip(pos, 0, self._sorted_asns.size - 1)
+        rows = self._sorted_rows[pos]
+        return np.where(self.asn_of[rows] == arr, rows, -1)
+
+
 @dataclass(slots=True)
 class ASGraph:
     """A mutable AS-level topology.
@@ -70,8 +134,12 @@ class ASGraph:
     #: so derived data (coordinate arrays, tie-break distance memos)
     #: can key caches on it instead of object identity.
     _version: int = 0
-    _coord_cache: tuple | None = None
-    _distance_cache: dict = field(default_factory=dict)
+    _coord_cache: (
+        tuple[int, dict[int, int], np.ndarray, np.ndarray] | None
+    ) = None
+    _distance_cache: dict[int, np.ndarray] = field(default_factory=dict)
+    _distance_version: int = -1
+    _csr_cache: CompiledGraph | None = None
 
     @property
     def version(self) -> int:
@@ -85,7 +153,6 @@ class ASGraph:
         self._nodes[node.asn] = node
         self._adjacency[node.asn] = {}
         self._version += 1
-        self._distance_cache.clear()
 
     def add_link(self, asn: int, neighbor: int, rel: Relationship) -> None:
         """Add a link; *rel* is *neighbor*'s role as seen from *asn*.
@@ -114,10 +181,11 @@ class ASGraph:
         """``(row_of_asn, lats, lons)`` over all ASes, cached per version.
 
         Row order is insertion order; the cache is rebuilt whenever the
-        graph structure changes.
+        graph structure changes (keyed on :attr:`version`, so link-only
+        changes invalidate it too).
         """
         cache = self._coord_cache
-        if cache is not None and cache[0] == len(self._nodes):
+        if cache is not None and cache[0] == self._version:
             return cache[1], cache[2], cache[3]
         row_of = {asn: i for i, asn in enumerate(self._nodes)}
         lats = np.array(
@@ -128,7 +196,7 @@ class ASGraph:
             [n.location.lon for n in self._nodes.values()],
             dtype=np.float64,
         )
-        self._coord_cache = (len(self._nodes), row_of, lats, lons)
+        self._coord_cache = (self._version, row_of, lats, lons)
         return row_of, lats, lons
 
     def distance_row(
@@ -137,19 +205,76 @@ class ASGraph:
         """Distances (km × *scale*) from *location* to every AS.
 
         Rows align with :meth:`coordinate_arrays`; memoized on
-        ``(node count, cache_key)`` so repeated propagations over a
-        stable graph reuse the same arrays.  *cache_key* must uniquely
-        identify ``(location, scale)`` -- callers pass the origin ASN.
+        ``(graph version, cache_key)`` so repeated propagations over a
+        stable graph reuse the same arrays (stale rows from older
+        structure versions are dropped wholesale).  *cache_key* must
+        uniquely identify ``(location, scale)`` -- callers pass the
+        origin ASN.
         """
-        key = (len(self._nodes), cache_key)
-        row = self._distance_cache.get(key)
+        if self._distance_version != self._version:
+            self._distance_cache.clear()
+            self._distance_version = self._version
+        row = self._distance_cache.get(cache_key)
         if row is None:
             _, lats, lons = self.coordinate_arrays()
             row = haversine_km_vec(
                 lats, lons, location.lat, location.lon
             ) * scale
-            self._distance_cache[key] = row
+            self._distance_cache[cache_key] = row
         return row
+
+    def compiled(self) -> CompiledGraph:
+        """The immutable CSR view of the current structure (cached).
+
+        One :class:`CompiledGraph` is built per :attr:`version` and
+        reused across propagations; mutating the graph invalidates it.
+        """
+        cache = self._csr_cache
+        if cache is not None and cache.version == self._version:
+            return cache
+        row_of = {asn: i for i, asn in enumerate(self._nodes)}
+        n = len(row_of)
+        counts = {
+            rel: np.zeros(n + 1, dtype=np.int64) for rel in Relationship
+        }
+        columns: dict[Relationship, list[int]] = {
+            rel: [] for rel in Relationship
+        }
+        all_counts = np.zeros(n + 1, dtype=np.int64)
+        all_columns: list[int] = []
+        all_rel: list[int] = []
+        for i, asn in enumerate(self._nodes):
+            for neighbor, rel in self._adjacency[asn].items():
+                counts[rel][i + 1] += 1
+                columns[rel].append(row_of[neighbor])
+                all_counts[i + 1] += 1
+                all_columns.append(row_of[neighbor])
+                all_rel.append(_REL_CODES[rel])
+        csr: dict[Relationship, tuple[np.ndarray, np.ndarray]] = {}
+        for rel in Relationship:
+            csr[rel] = (
+                _frozen(np.cumsum(counts[rel])),
+                _frozen(np.array(columns[rel], dtype=np.int32)),
+            )
+        asn_of = np.fromiter(self._nodes, dtype=np.int64, count=n)
+        order = np.argsort(asn_of, kind="stable")
+        self._csr_cache = CompiledGraph(
+            version=self._version,
+            asn_of=_frozen(asn_of),
+            row_of=row_of,
+            provider_indptr=csr[Relationship.PROVIDER][0],
+            provider_indices=csr[Relationship.PROVIDER][1],
+            peer_indptr=csr[Relationship.PEER][0],
+            peer_indices=csr[Relationship.PEER][1],
+            customer_indptr=csr[Relationship.CUSTOMER][0],
+            customer_indices=csr[Relationship.CUSTOMER][1],
+            all_indptr=_frozen(np.cumsum(all_counts)),
+            all_indices=_frozen(np.array(all_columns, dtype=np.int32)),
+            all_rel=_frozen(np.array(all_rel, dtype=np.int8)),
+            _sorted_asns=_frozen(asn_of[order]),
+            _sorted_rows=_frozen(order.astype(np.int64)),
+        )
+        return self._csr_cache
 
     def node(self, asn: int) -> AsNode:
         """Look up one AS by number."""

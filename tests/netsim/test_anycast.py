@@ -83,6 +83,75 @@ class TestChangeLog:
         assert times == [100.0, 200.0]
 
 
+class TestCacheLru:
+    def _make_prefix(self, cache_size):
+        graph = ASGraph()
+        for asn in (1, 2, 3, 4, 5):
+            graph.add_as(_node(asn))
+        graph.add_link(1, 3, Relationship.PROVIDER)
+        graph.add_link(2, 4, Relationship.PROVIDER)
+        graph.add_link(3, 4, Relationship.PEER)
+        graph.add_link(5, 3, Relationship.PROVIDER)
+        return AnycastPrefix(
+            graph,
+            [Origin(site="A", asn=1), Origin(site="B", asn=2)],
+            cache_size=cache_size,
+        )
+
+    def test_cache_stays_bounded(self):
+        prefix = self._make_prefix(cache_size=2)
+        # Cycle through 4 distinct announcement states.
+        prefix.routing()                      # {A, B}
+        prefix.withdraw("A", timestamp=1.0)   # {B}
+        prefix.withdraw("B", timestamp=2.0)   # {}
+        prefix.announce("A", timestamp=3.0)   # {A}
+        assert len(prefix._cache) <= 2
+
+    def test_eviction_preserves_routing_outputs(self):
+        # A tiny cache forces evictions while a large one never
+        # evicts; the observable outputs (catchments, change log) must
+        # be identical -- only version tokens may differ.
+        def drive(prefix):
+            seen = []
+            schedule = [
+                ("A", False), ("B", False), ("A", True),
+                ("B", True), ("A", False), ("A", True),
+            ]
+            for t, (site, up) in enumerate(schedule):
+                prefix.set_announced(site, up, timestamp=float(t))
+                seen.append(prefix.routing().catchments())
+            changes = [rec.changed_asns for rec in prefix.change_log()]
+            return seen, changes
+
+        small = drive(self._make_prefix(cache_size=1))
+        large = drive(self._make_prefix(cache_size=64))
+        assert small == large
+
+    def test_recomputed_state_gets_fresh_version(self):
+        prefix = self._make_prefix(cache_size=1)
+        v_full = prefix.routing().version
+        prefix.withdraw("A", timestamp=1.0)   # evicts {A, B}
+        prefix.routing()
+        prefix.announce("A", timestamp=2.0)   # recompute {A, B}
+        assert prefix.routing().version != v_full
+
+    def test_recency_keeps_hot_state(self):
+        prefix = self._make_prefix(cache_size=2)
+        prefix.routing()                      # {A, B} cached
+        prefix.withdraw("A", timestamp=1.0)   # {B} cached
+        prefix.announce("A", timestamp=2.0)   # {A, B} hit, refreshed
+        v_full = prefix.routing().version
+        prefix.withdraw("B", timestamp=3.0)   # {A} evicts {B}, not {A, B}
+        prefix.announce("B", timestamp=4.0)
+        assert prefix.routing().version == v_full
+
+    def test_rejects_nonpositive_cache_size(self, prefix):
+        with pytest.raises(ValueError):
+            AnycastPrefix(
+                prefix.graph, [Origin(site="A", asn=1)], cache_size=0
+            )
+
+
 class TestValidation:
     def test_needs_origins(self, prefix):
         with pytest.raises(ValueError):

@@ -81,6 +81,64 @@ class TestQueries:
         assert triangle.edge_count() == 2
 
 
+class TestCompiledGraph:
+    def test_rows_follow_insertion_order(self, triangle):
+        compiled = triangle.compiled()
+        assert compiled.asn_of.tolist() == [1, 2, 3]
+        assert compiled.row_of == {1: 0, 2: 1, 3: 2}
+        assert compiled.n_nodes == 3
+
+    def test_csr_matches_adjacency_order(self, triangle):
+        compiled = triangle.compiled()
+
+        def neighbors(indptr, indices, row):
+            rows = indices[indptr[row]:indptr[row + 1]]
+            return [int(compiled.asn_of[r]) for r in rows]
+
+        for asn in triangle.asns:
+            row = compiled.row_of[asn]
+            assert neighbors(
+                compiled.provider_indptr, compiled.provider_indices, row
+            ) == triangle.providers(asn)
+            assert neighbors(
+                compiled.peer_indptr, compiled.peer_indices, row
+            ) == triangle.peers(asn)
+            assert neighbors(
+                compiled.customer_indptr, compiled.customer_indices, row
+            ) == triangle.customers(asn)
+
+    def test_cached_per_version_and_invalidated(self, triangle):
+        first = triangle.compiled()
+        assert triangle.compiled() is first
+        triangle.add_as(_node(4))
+        second = triangle.compiled()
+        assert second is not first
+        assert second.version == triangle.version
+        triangle.add_link(4, 2, Relationship.PROVIDER)
+        third = triangle.compiled()
+        assert third is not second
+
+    def test_arrays_are_read_only(self, triangle):
+        compiled = triangle.compiled()
+        with pytest.raises(ValueError):
+            compiled.asn_of[0] = 99
+        with pytest.raises(ValueError):
+            compiled.provider_indices[:] = 0
+
+    def test_rows_of_vectorized_lookup(self, triangle):
+        compiled = triangle.compiled()
+        assert compiled.rows_of([3, 1, 99, 2]).tolist() == [2, 0, -1, 1]
+
+    def test_distance_cache_keyed_on_version(self, triangle):
+        row = triangle.distance_row(1, Location(0, 0), 1.0)
+        assert triangle.distance_row(1, Location(0, 0), 1.0) is row
+        # A structure change must drop memoized rows even though the
+        # node count is unchanged by a link-only edit.
+        triangle.add_link(1, 3, Relationship.PROVIDER)
+        fresh = triangle.distance_row(1, Location(0, 0), 1.0)
+        assert fresh is not row
+
+
 class TestValidate:
     def test_valid_graph_passes(self, triangle):
         triangle.validate()

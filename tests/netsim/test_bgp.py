@@ -14,8 +14,16 @@ from repro.netsim import (
     RoutingTable,
     Scope,
     propagate,
+    propagate_reference,
 )
 from repro.util import Location
+
+#: Both propagation implementations: the array kernel and the scalar
+#: reference.  Behavior-level tests run against each, so a divergence
+#: shows up as a per-implementation failure, not only in the
+#: bit-equivalence property test.
+IMPLEMENTATIONS = [propagate, propagate_reference]
+IMPL_IDS = ["kernel", "reference"]
 
 
 def _node(asn, lat=0.0, lon=0.0):
@@ -212,6 +220,13 @@ class TestRoutingTable:
         assert current.changes_from(previous) == {1, 2, 3, 5}
         assert previous.changes_from(current) == {1, 2, 3, 5}
 
+    def test_sites_of_matches_site_of(self):
+        graph = _chain_graph()
+        table = propagate(graph, [Origin(site="X", asn=1)])
+        site_index = {"X": 3}
+        got = table.sites_of([1, 2, 3, 4, 99], site_index)
+        assert got.tolist() == [3, 3, 3, 3, -1]
+
     def test_version_tokens_are_unique_and_monotonic(self):
         graph = _chain_graph()
         a = propagate(graph, [Origin(site="X", asn=1)])
@@ -220,6 +235,59 @@ class TestRoutingTable:
         versions = [a.version, b.version, c.version]
         assert len(set(versions)) == 3
         assert versions == sorted(versions)
+
+
+@pytest.mark.parametrize("impl", IMPLEMENTATIONS, ids=IMPL_IDS)
+class TestChangesFromEdgeCases:
+    """changes_from must agree on every transition kind, per backend.
+
+    The kernel compares array-backed tables without materializing
+    routes while the reference walks dicts; both must report the same
+    deltas for reachability gained, reachability lost, and identical
+    states.
+    """
+
+    def _tables(self, impl):
+        graph = _chain_graph()
+        graph.add_as(_node(5))
+        graph.add_link(5, 3, Relationship.PROVIDER)
+        full = impl(
+            graph, [Origin(site="A", asn=1), Origin(site="B", asn=5)]
+        )
+        partial = impl(graph, [Origin(site="A", asn=1)])
+        return full, partial
+
+    def test_gain_of_reachability(self, impl):
+        full, partial = self._tables(impl)
+        empty = RoutingTable({})
+        assert full.changes_from(empty) == full.reachable_asns()
+
+    def test_loss_of_reachability(self, impl):
+        full, partial = self._tables(impl)
+        empty = RoutingTable({})
+        assert empty.changes_from(full) == full.reachable_asns()
+
+    def test_site_and_path_shift_between_states(self, impl):
+        full, partial = self._tables(impl)
+        delta = partial.changes_from(full)
+        # Withdrawing B moves B's catchment; both directions agree.
+        assert delta == full.changes_from(partial)
+        assert 5 in delta  # B's origin AS changed its best route
+        assert delta <= full.reachable_asns() | partial.reachable_asns()
+
+    def test_identical_states_report_empty(self, impl):
+        graph = _chain_graph()
+        origins = [Origin(site="A", asn=1)]
+        a = impl(graph, origins)
+        b = impl(graph, origins)
+        assert a.changes_from(b) == set()
+        assert b.changes_from(a) == set()
+        assert a.changes_from(a) == set()
+
+    def test_empty_vs_empty(self, impl):
+        empty_a = RoutingTable({})
+        empty_b = RoutingTable({})
+        assert empty_a.changes_from(empty_b) == set()
 
 
 def _valley_free(graph, path):
