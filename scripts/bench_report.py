@@ -1,19 +1,27 @@
-"""Record engine wall times in BENCH_engine.json.
+"""Record benchmark wall times in BENCH_*.json reports.
 
-Runs the same size grid as ``benchmarks/bench_engine_scaling.py`` plus
-the acceptance scenario (seed=1, 300 stubs, 500 VPs) and writes the
-results to ``BENCH_engine.json`` at the repo root.  Pass ``--baseline
-SECONDS`` to record a pre-change wall time for the acceptance scenario
-alongside the measured one (the speedup is derived from the pair).
+The default (engine) mode runs the same size grid as
+``benchmarks/bench_engine_scaling.py`` plus the acceptance scenario
+(seed=1, 300 stubs, 500 VPs) and writes the results to
+``BENCH_engine.json`` at the repo root.  Pass ``--baseline SECONDS``
+to record a pre-change wall time for the acceptance scenario alongside
+the measured one (the speedup is derived from the pair).
+
+``--routing`` instead runs ``benchmarks/bench_routing.py`` (churn,
+faulted end-to-end, and the churn-delta suite on 50k/100k-AS as-rel2
+graphs) and writes ``BENCH_routing.json``; add ``--smoke`` to shrink
+it to the CI equality-only sizes.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_report.py [--baseline 13.75]
+    PYTHONPATH=src python scripts/bench_report.py --routing [--smoke]
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib.util
 import json
 import platform
 import time
@@ -43,6 +51,24 @@ def time_simulate(**kwargs) -> float:
     return time.perf_counter() - start
 
 
+def run_routing(output: Path, smoke: bool) -> None:
+    """Delegate to benchmarks/bench_routing.py and write *output*.
+
+    The benchmark module lives outside the package tree, so it is
+    loaded by file path; its own CLI handles sizing and the speedup
+    floors (skipped in smoke mode).
+    """
+    bench_path = REPO_ROOT / "benchmarks" / "bench_routing.py"
+    spec = importlib.util.spec_from_file_location("bench_routing", bench_path)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    argv = ["--out", str(output)]
+    if smoke:
+        argv.append("--smoke")
+    raise SystemExit(module.main(argv))
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -52,12 +78,29 @@ def main() -> None:
         help="pre-change wall time (s) of the acceptance scenario",
     )
     parser.add_argument(
+        "--routing",
+        action="store_true",
+        help="run the routing benchmarks into BENCH_routing.json instead",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="with --routing: tiny sizes, equality asserts only",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_engine.json",
+        default=None,
         help="where to write the report",
     )
     args = parser.parse_args()
+
+    if args.routing:
+        run_routing(
+            args.output or REPO_ROOT / "BENCH_routing.json", args.smoke
+        )
+    if args.output is None:
+        args.output = REPO_ROOT / "BENCH_engine.json"
 
     report: dict = {
         "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),

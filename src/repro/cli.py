@@ -10,7 +10,11 @@ Installed as the ``anycast-ddos`` console script:
 * ``anycast-ddos policies --attack 6`` -- evaluate the §2.2 model;
 * ``anycast-ddos sweep --axis baseline_days=3,7 --replicates 3
   --jobs 4`` -- run a scenario grid in parallel and print per-cell
-  summaries (bit-identical for any ``--jobs``).
+  summaries (bit-identical for any ``--jobs``);
+* ``anycast-ddos gen-topo --ases 50000 --out topo.as-rel2`` --
+  generate a deterministic internet-scale AS topology in CAIDA
+  as-rel2 format (loadable with
+  :func:`repro.netsim.topology.load_as_rel2`).
 """
 
 from __future__ import annotations
@@ -221,6 +225,33 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_gen_topo(args: argparse.Namespace) -> int:
+    from .netsim.topology import (
+        AsRelTopologyConfig,
+        build_internet_graph,
+        dump_as_rel2,
+    )
+
+    config = AsRelTopologyConfig(
+        n_ases=args.ases,
+        clique_size=args.clique,
+        multihome_fraction=args.multihome,
+        peer_degree=args.peer_degree,
+        seed=args.seed,
+    )
+    graph = build_internet_graph(config)
+    dump_as_rel2(graph, args.out)
+    n_transit = sum(len(graph.customers(asn)) for asn in graph.asns)
+    n_peer = sum(len(graph.peers(asn)) for asn in graph.asns) // 2
+    print(
+        f"wrote {args.out}: {len(graph)} ASes, "
+        f"{n_transit} transit links, {n_peer} peer links "
+        f"(seed={args.seed})",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="anycast-ddos",
@@ -270,6 +301,23 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--quiet", action="store_true",
                      help="suppress per-cell progress lines")
     swp.set_defaults(func=_cmd_sweep)
+
+    topo = sub.add_parser(
+        "gen-topo",
+        help="generate an as-rel2 synthetic internet topology",
+    )
+    topo.add_argument("--ases", type=int, default=50_000,
+                      help="total ASes in the graph")
+    topo.add_argument("--clique", type=int, default=12,
+                      help="transit-free core clique size")
+    topo.add_argument("--multihome", type=float, default=0.35,
+                      help="fraction of ASes with two providers")
+    topo.add_argument("--peer-degree", type=float, default=0.6,
+                      help="extra peer links per AS beyond the clique")
+    topo.add_argument("--seed", type=int, default=0)
+    topo.add_argument("--out", default="topology.as-rel2",
+                      help="output path (CAIDA as-rel2 serial-2)")
+    topo.set_defaults(func=_cmd_gen_topo)
 
     return parser
 

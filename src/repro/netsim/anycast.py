@@ -11,9 +11,16 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import MutableMapping
 
 from .asgraph import ASGraph
-from .bgp import Origin, RoutingTable, propagate
+from .bgp import (
+    Origin,
+    RoutingTable,
+    delta_enabled,
+    propagate,
+    propagate_delta,
+)
 
 #: Default bound of the per-prefix routing-table cache.  Policy loops
 #: cycle through a handful of announcement states, but fault-injected
@@ -21,6 +28,34 @@ from .bgp import Origin, RoutingTable, propagate
 #: arbitrarily many distinct states; an unbounded cache would retain
 #: every table for the life of a sweep worker.
 DEFAULT_CACHE_SIZE = 64
+
+#: Bound of a shared (substrate-level) routing memo, when attached.
+#: Larger than the per-prefix LRU because it serves every letter of a
+#: substrate across sweep cells.
+DEFAULT_MEMO_SIZE = 256
+
+#: Cache-path instrumentation, for tests and benchmarks: how routing()
+#: requests were served.  ``delta_derived`` counts computes that went
+#: through :func:`~repro.netsim.bgp.propagate_delta` (the call itself
+#: may still fall back internally; see
+#: :data:`~repro.netsim.bgp.DELTA_STATS`).
+PREFIX_CACHE_STATS: dict[str, int] = {
+    "lru_hits": 0,
+    "memo_hits": 0,
+    "computes": 0,
+    "delta_derived": 0,
+}
+
+
+def _state_distance(key_a: tuple, key_b: tuple) -> int:
+    """How many announce/withdraw/block edits separate two state keys."""
+    announced_a, announced_b = key_a[0], key_b[0]
+    distance = len(announced_a ^ announced_b)
+    blocked_b = dict(key_b[1])
+    for site, blocked in key_a[1]:
+        if site in blocked_b and blocked_b[site] != blocked:
+            distance += 1
+    return distance
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,6 +92,30 @@ class AnycastPrefix:
         self._cache_size = cache_size
         self._current: RoutingTable | None = None
         self._change_log: list[RouteChangeRecord] = []
+        self._shared_memo: MutableMapping[tuple, RoutingTable] | None = None
+        self._memo_label: object = None
+        self._memo_size = DEFAULT_MEMO_SIZE
+
+    def attach_shared_memo(
+        self,
+        memo: MutableMapping[tuple, RoutingTable],
+        label: object,
+        memo_size: int = DEFAULT_MEMO_SIZE,
+    ) -> None:
+        """Share *memo* as a second-level routing-table cache.
+
+        The memo outlives this prefix's bounded LRU (and
+        :meth:`reset`), so sweep cells that revisit an announcement
+        state after eviction -- or after the substrate was handed to a
+        different cell -- reuse the table instead of recomputing.
+        Entries are keyed ``(label, state_key)``; *label* namespaces
+        prefixes (letters) sharing one memo.  Reuse is output-invariant
+        for the same reason LRU eviction is: tables are pure functions
+        of graph + announcement state.
+        """
+        self._shared_memo = memo
+        self._memo_label = label
+        self._memo_size = memo_size
 
     @property
     def sites(self) -> list[str]:
@@ -113,23 +172,90 @@ class AnycastPrefix:
             return self._current
         key = self._state_key()
         table = self._cache.get(key)
-        if table is None:
-            origins = [
-                self._origins[s].with_blocked(self._blocked[s])
-                for s in sorted(key[0])
-            ]
-            table = (
-                propagate(self.graph, origins)
-                if origins
-                else RoutingTable({})
-            )
+        if table is not None:
+            PREFIX_CACHE_STATS["lru_hits"] += 1
+            self._cache.move_to_end(key)
+        else:
+            memo = self._shared_memo
+            if memo is not None:
+                table = memo.get((self._memo_label, key))
+            if table is not None:
+                PREFIX_CACHE_STATS["memo_hits"] += 1
+            else:
+                table = self._compute(key)
+                PREFIX_CACHE_STATS["computes"] += 1
+                if memo is not None:
+                    memo[(self._memo_label, key)] = table
+                    while len(memo) > self._memo_size:
+                        memo.pop(next(iter(memo)))
             self._cache[key] = table
             if len(self._cache) > self._cache_size:
                 self._cache.popitem(last=False)
-        else:
-            self._cache.move_to_end(key)
         self._current = table
         return table
+
+    def _compute(self, key: tuple) -> RoutingTable:
+        """Propagate the state *key* describes, via delta if possible.
+
+        Any cached table works as a delta base --
+        :func:`~repro.netsim.bgp.propagate_delta` is bit-identical to
+        full propagation whatever it starts from -- so the base choice
+        (nearest by announce/withdraw/block edit distance, most
+        recently used winning ties) only affects speed, never output.
+        """
+        origins = [
+            self._origins[s].with_blocked(self._blocked[s])
+            for s in sorted(key[0])
+        ]
+        if not origins:
+            return RoutingTable({})
+        base = self._nearest_base(key) if delta_enabled() else None
+        if base is None:
+            return propagate(self.graph, origins)
+        base_key, base_table = base
+        withdraw = sorted(base_key[0] - key[0])
+        base_blocked = dict(base_key[1])
+        announce = [
+            self._origins[s].with_blocked(self._blocked[s])
+            for s in sorted(key[0])
+            if s not in base_key[0]
+            or base_blocked[s] != self._blocked[s]
+        ]
+        PREFIX_CACHE_STATS["delta_derived"] += 1
+        return propagate_delta(
+            self.graph, base_table,
+            announce=announce, withdraw=withdraw,
+        )
+
+    def _nearest_base(
+        self, key: tuple
+    ) -> tuple[tuple, RoutingTable] | None:
+        """The cached state closest to *key*, to derive it from."""
+        best: tuple[tuple, RoutingTable] | None = None
+        best_distance = 0
+        candidates: list[tuple[tuple, RoutingTable]] = [
+            (k, t) for k, t in reversed(self._cache.items())
+        ]
+        if self._shared_memo is not None:
+            candidates.extend(
+                (k[1], t)
+                for k, t in reversed(self._shared_memo.items())
+                if k[0] == self._memo_label
+            )
+        for base_key, table in candidates:
+            if not base_key[0]:
+                continue  # empty table: no trace to replay
+            arrays = table._arrays
+            if arrays is None or arrays.trace is None:
+                # Dict-backed or trace-less tables (the reference
+                # implementation, deserialized fixtures) cannot seed a
+                # replay; they are simply never picked as a base.
+                continue
+            distance = _state_distance(base_key, key)
+            if best is None or distance < best_distance:
+                best = (base_key, table)
+                best_distance = distance
+        return best
 
     def set_announced(self, site: str, up: bool, timestamp: float) -> bool:
         """Announce or withdraw *site*; log the routing delta.

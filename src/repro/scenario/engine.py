@@ -68,6 +68,7 @@ from .nl import NlService, register_nl_nodes
 
 if TYPE_CHECKING:
     from ..defense.controllers import Controller
+    from ..netsim.bgp import RoutingTable
 
 #: Utilisation above which a site counts as overloaded for server-
 #: behaviour purposes (shedding, skew).
@@ -309,6 +310,14 @@ class Substrate:
     vps: VantagePointTable
     botnet: Botnet
     collectors: BgpCollectors
+    #: Substrate-level routing memo, shared by every letter's prefix
+    #: (keyed ``(letter, announcement-state key)``).  Survives prefix
+    #: LRU eviction and :meth:`reset`, so sweep cells that differ only
+    #: in attack knobs reuse each other's routing tables -- and give
+    #: the delta path nearby base states to derive new ones from.
+    routing_memo: dict[tuple, "RoutingTable"] = field(
+        default_factory=dict
+    )
 
     def reset(self) -> None:
         """Restore every mutable piece to its post-construction state."""
@@ -350,7 +359,7 @@ def build_substrate(config: ScenarioConfig) -> Substrate:
         # .nl nodes join their facilities after every root site, same
         # as the pre-substrate engine did.
         register_nl_nodes(facilities, config.nl)
-    return Substrate(
+    substrate = Substrate(
         signature=substrate_signature(config),
         topology=topology,
         facilities=facilities,
@@ -361,6 +370,11 @@ def build_substrate(config: ScenarioConfig) -> Substrate:
         botnet=botnet,
         collectors=collectors,
     )
+    for letter in letters:
+        deployments[letter].prefix.attach_shared_memo(
+            substrate.routing_memo, letter
+        )
+    return substrate
 
 
 def simulate(

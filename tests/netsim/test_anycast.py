@@ -8,7 +8,9 @@ from repro.netsim import (
     AsNode,
     Origin,
     Relationship,
+    propagate,
 )
+from repro.netsim.anycast import PREFIX_CACHE_STATS
 from repro.util import Location
 
 
@@ -163,3 +165,111 @@ class TestValidation:
                 prefix.graph,
                 [Origin(site="A", asn=1), Origin(site="A", asn=2)],
             )
+
+
+def _make_prefix(cache_size=64):
+    graph = ASGraph()
+    for asn in (1, 2, 3, 4, 5):
+        graph.add_as(_node(asn))
+    graph.add_link(1, 3, Relationship.PROVIDER)
+    graph.add_link(2, 4, Relationship.PROVIDER)
+    graph.add_link(3, 4, Relationship.PEER)
+    graph.add_link(5, 3, Relationship.PROVIDER)
+    return AnycastPrefix(
+        graph,
+        [Origin(site="A", asn=1), Origin(site="B", asn=2)],
+        cache_size=cache_size,
+    )
+
+
+def _assert_same_routes(actual, expected):
+    assert list(actual._routes) == list(expected._routes)
+    assert actual._routes == expected._routes
+    assert actual.catchments() == expected.catchments()
+
+
+class TestDeltaWiring:
+    """routing() derives fresh states from cached tables via deltas."""
+
+    def test_state_changes_are_delta_derived(self, prefix):
+        before = PREFIX_CACHE_STATS["delta_derived"]
+        prefix.routing()                                   # cold: full
+        prefix.withdraw("A", timestamp=1.0)                # delta base {A,B}
+        prefix.set_blocked("B", frozenset({4}), timestamp=2.0)
+        assert PREFIX_CACHE_STATS["delta_derived"] >= before + 2
+
+    def test_delta_tables_match_full_propagation(self, prefix):
+        prefix.withdraw("A", timestamp=1.0)
+        table = prefix.routing()
+        full = propagate(prefix.graph, [prefix.origin("B")])
+        _assert_same_routes(table, full)
+
+    def test_escape_hatch_forces_full(self, prefix, monkeypatch):
+        monkeypatch.setenv("REPRO_BGP_DELTA", "0")
+        before = PREFIX_CACHE_STATS["delta_derived"]
+        prefix.withdraw("A", timestamp=1.0)
+        prefix.set_blocked("B", frozenset({4}), timestamp=2.0)
+        assert PREFIX_CACHE_STATS["delta_derived"] == before
+        full = propagate(
+            prefix.graph,
+            [prefix.origin("B").with_blocked(frozenset({4}))],
+        )
+        _assert_same_routes(prefix.routing(), full)
+
+    def test_dict_backed_tables_never_seed_deltas(self, monkeypatch):
+        # bench_routing's reference A/B swaps propagate for the scalar
+        # implementation; its dict-backed tables land in the cache and
+        # must be passed over when hunting for a delta base.
+        from repro.netsim import anycast as anycast_module
+        from repro.netsim import bgp_reference
+
+        prefix = _make_prefix()
+        with monkeypatch.context() as patched:
+            patched.setattr(
+                anycast_module, "propagate", bgp_reference.propagate
+            )
+            prefix.routing()                   # dict-backed {A, B} cached
+        prefix.withdraw("A", timestamp=1.0)    # must not replay from it
+        full = propagate(prefix.graph, [prefix.origin("B")])
+        _assert_same_routes(prefix.routing(), full)
+
+
+class TestSharedMemo:
+    def test_memo_serves_states_the_lru_evicted(self):
+        prefix = _make_prefix(cache_size=1)
+        memo = {}
+        prefix.attach_shared_memo(memo, "X")
+        before = dict(PREFIX_CACHE_STATS)
+        schedule = [
+            ("A", False), ("A", True), ("A", False), ("A", True),
+        ]
+        for t, (site, up) in enumerate(schedule):
+            prefix.set_announced(site, up, timestamp=float(t))
+        after = dict(PREFIX_CACHE_STATS)
+        assert after["memo_hits"] > before["memo_hits"]
+        assert len(memo) <= 2
+        # Memo reuse is output-invariant: same catchments as no memo.
+        bare = _make_prefix(cache_size=1)
+        for t, (site, up) in enumerate(schedule):
+            bare.set_announced(site, up, timestamp=float(t))
+        _assert_same_routes(prefix.routing(), bare.routing())
+
+    def test_memo_stays_bounded(self):
+        prefix = _make_prefix(cache_size=1)
+        memo = {}
+        prefix.attach_shared_memo(memo, "X", memo_size=2)
+        prefix.routing()                      # {A, B}
+        prefix.withdraw("A", timestamp=1.0)   # {B}
+        prefix.withdraw("B", timestamp=2.0)   # {}
+        prefix.announce("A", timestamp=3.0)   # {A}
+        assert len(memo) <= 2
+
+    def test_memo_survives_reset(self):
+        prefix = _make_prefix(cache_size=1)
+        memo = {}
+        prefix.attach_shared_memo(memo, "X")
+        prefix.routing()
+        prefix.withdraw("A", timestamp=1.0)
+        entries = dict(memo)
+        prefix.reset()
+        assert memo == entries

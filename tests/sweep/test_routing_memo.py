@@ -1,0 +1,91 @@
+"""Cross-cell routing-table reuse through the substrate memo.
+
+``Substrate.routing_memo`` is a second-level cache behind each
+prefix's bounded LRU: it survives prefix resets and LRU eviction, so
+sweep cells that share a substrate (same topology signature,
+different attack/fault knobs) reuse each other's BGP propagations.
+Reuse must be pure speed -- every output array stays bit-identical to
+a fresh-substrate run, and ``jobs=N`` stays bit-identical to
+``jobs=1`` with the memo in play.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.netsim.anycast import PREFIX_CACHE_STATS
+from repro.scenario import result_arrays
+from repro.scenario.engine import build_substrate, simulate
+from repro.sweep import SweepSpec, run_sweep
+
+
+def _with_scaled_events(config, factor):
+    """The same scenario with every attack's rate scaled by *factor*.
+
+    Changes only a run-time knob, so the substrate signature -- and
+    therefore the shared memo -- is identical to the base config's.
+    """
+    events = tuple(
+        dataclasses.replace(event, rate_qps=event.rate_qps * factor)
+        for event in config.events
+    )
+    return dataclasses.replace(config, events=events)
+
+
+class TestSubstrateMemo:
+    def test_memo_attached_to_every_prefix(self, tiny_base):
+        substrate = build_substrate(tiny_base)
+        for deployment in substrate.deployments.values():
+            assert deployment.prefix._shared_memo is substrate.routing_memo
+
+    def test_simulate_populates_memo_per_letter(self, tiny_base):
+        substrate = build_substrate(tiny_base)
+        simulate(tiny_base, substrate)
+        assert substrate.routing_memo
+        letters = {key[0] for key in substrate.routing_memo}
+        assert letters <= set(substrate.deployments)
+
+    def test_memo_serves_cells_across_lru_eviction(self, tiny_base):
+        substrate = build_substrate(tiny_base)
+        simulate(tiny_base, substrate)
+        # Between cells, wipe every prefix LRU (what eviction pressure
+        # from a fault-heavy cell would do); only the substrate memo
+        # still remembers the first cell's tables.
+        for deployment in substrate.deployments.values():
+            deployment.prefix._cache.clear()
+            deployment.prefix._current = None
+        heavy = _with_scaled_events(tiny_base, 2.0)
+        before = PREFIX_CACHE_STATS["memo_hits"]
+        reused = simulate(heavy, substrate)
+        assert PREFIX_CACHE_STATS["memo_hits"] > before
+
+        fresh = simulate(heavy, build_substrate(heavy))
+        got, want = result_arrays(reused), result_arrays(fresh)
+        assert set(got) == set(want)
+        for name in want:
+            assert np.array_equal(
+                np.asarray(got[name]), np.asarray(want[name]),
+                equal_nan=True,
+            ), name
+
+
+class TestJobsParity:
+    @pytest.mark.parametrize("jobs", [2])
+    def test_attack_axis_bit_identical_across_jobs(self, tiny_base, jobs):
+        points = [
+            {},
+            {"events": _with_scaled_events(tiny_base, 2.0).events},
+        ]
+        spec = SweepSpec.from_points(tiny_base, points)
+        serial = run_sweep(spec, jobs=1)
+        parallel = run_sweep(spec, jobs=jobs)
+        assert len(serial.results) == len(parallel.results)
+        for a, b in zip(serial.results, parallel.results):
+            got, want = result_arrays(a), result_arrays(b)
+            assert set(got) == set(want)
+            for name in want:
+                assert np.array_equal(
+                    np.asarray(got[name]), np.asarray(want[name]),
+                    equal_nan=True,
+                ), name
