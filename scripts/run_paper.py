@@ -11,10 +11,18 @@ Usage::
     PYTHONPATH=src python scripts/run_paper.py --jobs 4
     PYTHONPATH=src python scripts/run_paper.py --jobs 4 \
         --out-dir paper_out --stubs 600 --vps 1500
+    PYTHONPATH=src python scripts/run_paper.py --jobs 4 \
+        --checkpoint paper_out/sweep.ckpt     # crash-safe
+    PYTHONPATH=src python scripts/run_paper.py --jobs 4 \
+        --resume paper_out/sweep.ckpt         # after an interrupt
 
 Writes one text file per figure/table plus ``summaries.json`` (the
 sweep's per-cell metric summaries, replicates folded) into
-``--out-dir``.
+``--out-dir``.  With ``--checkpoint``, completed cells are fsynced to
+an append-only log as they finish; Ctrl-C exits with code 130 and the
+run resumes bit-identically with ``--resume`` (cells are pure
+functions of their configs, so re-running only the missing ones
+cannot change any output).
 """
 
 from __future__ import annotations
@@ -62,7 +70,12 @@ from repro.scenario.presets import (
     JUNE2016_WINDOW_START,
     QUIET_WINDOW_START,
 )
-from repro.sweep import SweepSpec, run_sweep, summaries_records
+from repro.sweep import (
+    SweepInterrupted,
+    SweepSpec,
+    run_sweep,
+    summaries_records,
+)
 from repro.util import EVENT_1
 
 #: Sweep points, in cell order: the canonical event scenario first,
@@ -200,7 +213,22 @@ def main(argv: list[str] | None = None) -> int:
                         help="replicate seeds folded into summaries.json")
     parser.add_argument("--out-dir", default="paper_out",
                         help="directory for rendered figures/tables")
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="crash-safe log of completed cells; a killed run "
+             "re-invoked with the same flags resumes from it",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume from an existing checkpoint (config flags must "
+             "match the original run)",
+    )
     args = parser.parse_args(argv)
+
+    checkpoint = args.resume or args.checkpoint
+    if args.resume and not pathlib.Path(args.resume).exists():
+        print(f"error: no checkpoint at {args.resume}", file=sys.stderr)
+        return 2
 
     spec = paper_spec(args)
     print(
@@ -208,24 +236,37 @@ def main(argv: list[str] | None = None) -> int:
         f"--jobs {args.jobs} ...",
         file=sys.stderr,
     )
-    sweep = run_sweep(
-        spec,
-        jobs=args.jobs,
-        progress=lambda event: print(str(event), file=sys.stderr),
-    )
-
-    # Figures render from the first replicate of each scenario point
-    # (cell index == point index, seeds being outermost).
-    rendered = render_all(
-        sweep.results[NOV2015],
-        sweep.results[QUIET],
-        sweep.results[JUNE2016],
-    )
+    try:
+        sweep = run_sweep(
+            spec,
+            jobs=args.jobs,
+            progress=lambda event: print(str(event), file=sys.stderr),
+            checkpoint=checkpoint,
+        )
+    except (SweepInterrupted, KeyboardInterrupt) as exc:
+        # Completed cells are already durable in the checkpoint (each
+        # is fsynced as it finishes); nothing renders from a partial
+        # sweep, so report what survived and exit like a SIGINT'd
+        # shell command would.
+        print(f"\ninterrupted: {exc}", file=sys.stderr)
+        if checkpoint is not None:
+            print(
+                "completed cells are saved; resume with: "
+                f"{sys.executable} {sys.argv[0]} --resume {checkpoint} "
+                f"--jobs {args.jobs}",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "no --checkpoint was given, so completed cells were "
+                "not saved; re-run with --checkpoint PATH to make "
+                "interrupted runs resumable",
+                file=sys.stderr,
+            )
+        return 130
 
     out_dir = pathlib.Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
-    for name, text in rendered.items():
-        (out_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
     summary_path = out_dir / "summaries.json"
     summary_path.write_text(
         json.dumps(
@@ -234,6 +275,10 @@ def main(argv: list[str] | None = None) -> int:
                 "n_cells": spec.n_cells,
                 "points": ["nov2015", "quiet", "june2016"],
                 "summaries": summaries_records(sweep.summaries),
+                "failed_cells": {
+                    str(i): reason
+                    for i, reason in sorted(sweep.failures.items())
+                },
             },
             indent=2,
             sort_keys=True,
@@ -241,6 +286,36 @@ def main(argv: list[str] | None = None) -> int:
         + "\n",
         encoding="utf-8",
     )
+
+    # Figures render from the first replicate of each scenario point
+    # (cell index == point index, seeds being outermost).  A
+    # quarantined cell (crashed past its retry budget) leaves a None
+    # slot: summaries.json above carries the failure flags, but the
+    # figures need the full per-cell results.
+    needed = {NOV2015: "nov2015", QUIET: "quiet", JUNE2016: "june2016"}
+    missing = [
+        f"{name} (cell {index}): {sweep.failures[index]}"
+        for index, name in needed.items()
+        if sweep.results[index] is None
+    ]
+    if missing:
+        for line in missing:
+            print(f"error: scenario failed: {line}", file=sys.stderr)
+        print(
+            f"wrote {summary_path} (with failure flags); cannot "
+            "render figures from a partial sweep -- fix the failure "
+            "and re-run (with --resume to keep healthy cells)",
+            file=sys.stderr,
+        )
+        return 1
+    rendered = render_all(
+        sweep.results[NOV2015],
+        sweep.results[QUIET],
+        sweep.results[JUNE2016],
+    )
+
+    for name, text in rendered.items():
+        (out_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
     print(
         f"wrote {len(rendered)} figure/table file(s) and "
         f"{summary_path} to {out_dir}/ "

@@ -185,15 +185,36 @@ def _parse_axis(spec_str: str) -> tuple[str, list[Any]]:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .sweep import SweepSpec, run_sweep, summaries_records
-
-    base = _config_from_args(args)
-    axes = dict(_parse_axis(spec_str) for spec_str in args.axis or [])
-    spec = SweepSpec.grid(
-        base,
-        axes,
-        replicates=args.replicates if args.replicates > 1 else None,
+    from .sweep import (
+        SweepInterrupted,
+        SweepSpec,
+        load_checkpoint,
+        resume_command,
+        run_sweep,
+        summaries_records,
     )
+
+    checkpoint = args.checkpoint
+    if args.resume:
+        # The checkpoint header carries the full pickled spec, so a
+        # resume needs no re-typed --axis/--replicates flags (and
+        # cannot accidentally run with different ones).
+        data = load_checkpoint(args.resume)
+        spec = data.spec
+        checkpoint = args.resume
+        print(
+            f"resuming from {args.resume}: "
+            f"{len(data.results)}/{spec.n_cells} cell(s) already done",
+            file=sys.stderr,
+        )
+    else:
+        base = _config_from_args(args)
+        axes = dict(_parse_axis(spec_str) for spec_str in args.axis or [])
+        spec = SweepSpec.grid(
+            base,
+            axes,
+            replicates=args.replicates if args.replicates > 1 else None,
+        )
     print(
         f"sweep: {spec.n_points} point(s) x {spec.n_seeds} seed(s) = "
         f"{spec.n_cells} cell(s), jobs={args.jobs}",
@@ -203,17 +224,44 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     def _progress(event: Any) -> None:
         print(str(event), file=sys.stderr)
 
-    result = run_sweep(
-        spec,
-        jobs=args.jobs,
-        progress=None if args.quiet else _progress,
-    )
-    payload = {
+    try:
+        result = run_sweep(
+            spec,
+            jobs=args.jobs,
+            progress=None if args.quiet else _progress,
+            checkpoint=checkpoint,
+            max_retries=args.max_retries,
+            cell_timeout_s=args.cell_timeout,
+        )
+    except SweepInterrupted as exc:
+        print(f"\n{exc}", file=sys.stderr)
+        if exc.checkpoint_path is not None:
+            print(
+                f"resume with: {resume_command(exc.checkpoint_path, jobs=args.jobs)}",
+                file=sys.stderr,
+            )
+        return 130
+    payload: dict[str, Any] = {
         "n_points": spec.n_points,
         "n_seeds": spec.n_seeds,
         "n_cells": spec.n_cells,
         "jobs": args.jobs,
         "summaries": summaries_records(result.summaries),
+        "failed_cells": {
+            str(index): reason
+            for index, reason in sorted(result.failures.items())
+        },
+        # Telemetry: wall-clock, retry, and routing-layer counters.
+        # Varies with worker count and caching; everything above it is
+        # bit-identical for any --jobs value.
+        "telemetry": {
+            "elapsed_s": result.elapsed_s,
+            "attempts": {
+                str(i): n for i, n in sorted(result.attempts.items())
+            },
+            "restored_cells": list(result.restored),
+            "routing": dict(sorted(result.routing_stats.items())),
+        },
     }
     rendered = json.dumps(payload, indent=2, sort_keys=True)
     if args.out:
@@ -222,6 +270,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"wrote {args.out}", file=sys.stderr)
     else:
         print(rendered)
+    if args.verbose:
+        for name, value in sorted(result.routing_stats.items()):
+            print(f"routing {name}: {value}", file=sys.stderr)
+        for index, reason in sorted(result.failures.items()):
+            print(f"! cell {index}: {reason}", file=sys.stderr)
+    if result.failures:
+        print(
+            f"warning: {len(result.failures)} cell(s) quarantined; "
+            "summaries are partial (see failed_cells)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -300,6 +359,29 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write summary JSON here instead of stdout")
     swp.add_argument("--quiet", action="store_true",
                      help="suppress per-cell progress lines")
+    swp.add_argument("--verbose", action="store_true",
+                     help="print routing counters and failed cells")
+    swp.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="append completed cells to this crash-safe log as they "
+             "finish (resume later with --resume PATH)",
+    )
+    swp.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume an interrupted sweep from its checkpoint; the "
+             "spec is read from the checkpoint header, so --axis/"
+             "--replicates are ignored",
+    )
+    swp.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retries per cell after a crash/timeout before the cell "
+             "is quarantined (default 2)",
+    )
+    swp.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per cell; a hung worker is killed and "
+             "the cell retried (default: no timeout)",
+    )
     swp.set_defaults(func=_cmd_sweep)
 
     topo = sub.add_parser(

@@ -16,13 +16,21 @@ from .plan import (
     SiteFailure,
     VpDropout,
 )
-from .quality import DataQuality, QualityFlag, probe_gap_flags
+from .quality import (
+    CELL_FAILED,
+    DataQuality,
+    QualityFlag,
+    cell_failed_flag,
+    probe_gap_flags,
+)
 from .runtime import FaultRuntime
 
 __all__ = [
     "BgpSessionReset",
+    "CELL_FAILED",
     "ControllerOutage",
     "DataQuality",
+    "cell_failed_flag",
     "FaultPlan",
     "FaultRuntime",
     "FaultSpec",

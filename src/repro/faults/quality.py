@@ -32,6 +32,11 @@ import numpy as np
 if TYPE_CHECKING:
     from ..datasets.observations import AtlasDataset
 
+#: Metric name carried by sweep-level quarantine flags: a cell that
+#: exhausted its retries is excluded from its point's summary and
+#: marked with one of these instead of aborting the whole sweep.
+CELL_FAILED = "cell-failed"
+
 
 @dataclass(frozen=True, slots=True)
 class QualityFlag:
@@ -131,6 +136,22 @@ class DataQuality:
         lines = [f"data quality: {len(self.flags)} flag(s)"]
         lines.extend(f"  ! {flag}" for flag in self.flags)
         return "\n".join(lines)
+
+
+def cell_failed_flag(index: int, seed: int, reason: str) -> QualityFlag:
+    """The flag a quarantined sweep cell leaves on its point summary.
+
+    *reason* is the runner's failure description (already including
+    the attempt count); the flag records which replicate is missing so
+    a partially-folded summary is never mistaken for a full one.
+    """
+    return QualityFlag(
+        metric=CELL_FAILED,
+        detail=(
+            f"cell {index} (seed {seed}) {reason}; "
+            "replicate excluded from summary"
+        ),
+    )
 
 
 def probe_gap_flags(

@@ -6,15 +6,22 @@ metric -- mean, sample standard deviation, and a normal-approximation
 :class:`~repro.faults.quality.DataQuality` report is *unioned*, not
 dropped: a degraded replicate leaves its mark on the summary, with
 flags deduplicated across replicates that degraded identically.
+
+Quarantined cells (retries exhausted under the supervised runner) are
+tolerated rather than fatal: their replicate slot arrives as ``None``
+with a failure reason, the summary folds the replicates that *did*
+finish, and a ``cell-failed`` :class:`~repro.faults.quality.QualityFlag`
+marks the gap.  A point whose every replicate failed summarizes to an
+empty metric set -- flagged, not raised.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
-from ..faults.quality import DataQuality
+from ..faults.quality import DataQuality, cell_failed_flag
 from .metrics import cell_metrics
 from .spec import Overrides, SweepSpec
 
@@ -88,34 +95,61 @@ class CellSummary:
 
 
 def summarize(
-    spec: SweepSpec, results: Sequence[ScenarioResult]
+    spec: SweepSpec,
+    results: Sequence[ScenarioResult | None],
+    *,
+    failures: Mapping[int, str] | None = None,
 ) -> tuple[CellSummary, ...]:
     """Per-point summaries from index-ordered sweep *results*.
 
-    *results* must be the runner's output: one result per cell, in
+    *results* must be the runner's output: one slot per cell, in
     cell-index order (seeds outermost).  Replicates of each point are
     folded in seed order, so the summary is a pure function of the
     spec -- independent of execution interleaving.
+
+    A ``None`` slot is only legal for a cell index listed in
+    *failures* (reason strings from the supervised runner); such
+    replicates are excluded from the fold and flagged ``cell-failed``
+    on their point's summary instead.
     """
+    failures = dict(failures or {})
     if len(results) != spec.n_cells:
         raise ValueError(
             f"expected {spec.n_cells} results, got {len(results)}"
         )
+    for index, result in enumerate(results):
+        if result is None and index not in failures:
+            raise ValueError(
+                f"cell {index} has no result and no failure record"
+            )
     seeds = spec.effective_seeds()
     summaries: list[CellSummary] = []
     for point_index in range(spec.n_points):
-        replicates = [
-            results[seed_index * spec.n_points + point_index]
+        indices = [
+            seed_index * spec.n_points + point_index
             for seed_index in range(spec.n_seeds)
         ]
-        per_rep = [cell_metrics(r) for r in replicates]
-        names = list(per_rep[0])
+        present = [
+            results[i] for i in indices if results[i] is not None
+        ]
+        per_rep = [cell_metrics(r) for r in present]
+        names = list(per_rep[0]) if per_rep else []
         for rep in per_rep[1:]:
             if list(rep) != names:
                 raise ValueError(
                     "replicates of one point produced different "
                     "metric sets; cannot aggregate"
                 )
+        quality = DataQuality().union(*(r.quality for r in present))
+        fail_flags = tuple(
+            cell_failed_flag(
+                i, spec.effective_seeds()[i // spec.n_points], failures[i]
+            )
+            for i in indices
+            if results[i] is None
+        )
+        if fail_flags:
+            quality = quality.merged(DataQuality(flags=fail_flags))
         summaries.append(
             CellSummary(
                 point_index=point_index,
@@ -125,9 +159,7 @@ def summarize(
                     name: MetricSummary.of([rep[name] for rep in per_rep])
                     for name in names
                 },
-                quality=DataQuality().union(
-                    *(r.quality for r in replicates)
-                ),
+                quality=quality,
             )
         )
     return tuple(summaries)

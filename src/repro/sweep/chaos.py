@@ -1,0 +1,128 @@
+"""Test-only deterministic fault injection for sweep execution.
+
+The supervision layer (worker-death detection, timeouts, retries,
+checkpoint resume) is only trustworthy if it can be exercised on
+demand.  This module gives tests and CI a deterministic way to make a
+specific cell misbehave, gated behind the ``REPRO_SWEEP_CHAOS``
+environment variable -- unset (the normal case), nothing here runs at
+all.
+
+Grammar: ``ACTION:cellINDEX[@ATTEMPT][:SECONDS]``
+
+* ``kill:cell3`` -- the pool worker about to simulate cell 3 (first
+  attempt) dies with ``os._exit(KILL_EXIT_CODE)``, exactly like an
+  OOM-kill or segfault.  Worker processes only: in a serial
+  (``jobs=1``) run the action is ignored rather than killing the
+  parent -- use SIGINT to exercise parent-death resume.
+* ``stall:cell2:30`` -- the worker sleeps 30 s before simulating
+  cell 2, tripping the per-cell timeout.  Worker processes only.
+* ``raise:cell1`` -- simulating cell 1 raises :class:`ChaosError`
+  (any execution path, including serial), exercising the
+  retry/quarantine machinery without killing anything.
+
+``@ATTEMPT`` pins the action to one 0-based attempt (default ``@0``,
+so a retried cell succeeds); ``@*`` fires on every attempt, which is
+how tests make a poison cell that exhausts ``max_retries``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+#: Environment variable holding the chaos spec.
+CHAOS_ENV = "REPRO_SWEEP_CHAOS"
+
+#: Exit status of a chaos-killed worker (distinctive in logs).
+KILL_EXIT_CODE = 87
+
+_ACTIONS = ("kill", "stall", "raise")
+
+
+class ChaosError(RuntimeError):
+    """The injected failure raised by a ``raise:`` chaos action."""
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosAction:
+    """One parsed ``REPRO_SWEEP_CHAOS`` directive."""
+
+    action: str           # "kill" | "stall" | "raise"
+    cell_index: int
+    attempt: int | None   # None means every attempt ("@*")
+    seconds: float = 0.0  # stall duration
+
+    def matches(self, cell_index: int, attempt: int) -> bool:
+        if cell_index != self.cell_index:
+            return False
+        return self.attempt is None or attempt == self.attempt
+
+
+def parse_chaos(text: str | None) -> ChaosAction | None:
+    """Parse a chaos spec; ``None`` for blank/unset, ``ValueError`` if
+    malformed (a typoed spec must not silently disable the test)."""
+    if text is None:
+        return None
+    text = text.strip()
+    if not text:
+        return None
+    parts = text.split(":")
+    if len(parts) not in (2, 3) or parts[0] not in _ACTIONS:
+        raise ValueError(f"malformed {CHAOS_ENV} spec {text!r}")
+    action = parts[0]
+    target, _, attempt_part = parts[1].partition("@")
+    if not target.startswith("cell"):
+        raise ValueError(f"malformed {CHAOS_ENV} target {parts[1]!r}")
+    try:
+        cell_index = int(target[len("cell"):])
+    except ValueError as exc:
+        raise ValueError(
+            f"malformed {CHAOS_ENV} target {parts[1]!r}"
+        ) from exc
+    attempt: int | None
+    if attempt_part == "*":
+        attempt = None
+    elif attempt_part:
+        attempt = int(attempt_part)
+    else:
+        attempt = 0
+    seconds = 0.0
+    if len(parts) == 3:
+        if action != "stall":
+            raise ValueError(
+                f"{CHAOS_ENV}: only 'stall' takes a seconds field"
+            )
+        seconds = float(parts[2])
+    elif action == "stall":
+        raise ValueError(f"{CHAOS_ENV}: 'stall' needs a seconds field")
+    return ChaosAction(
+        action=action,
+        cell_index=cell_index,
+        attempt=attempt,
+        seconds=seconds,
+    )
+
+
+def maybe_inject(cell_index: int, attempt: int, *, in_worker: bool) -> None:
+    """Apply the configured chaos action to this (cell, attempt).
+
+    Called by the worker immediately before simulating a cell.
+    ``kill`` and ``stall`` only fire inside pool worker processes
+    (``in_worker=True``); ``raise`` fires anywhere.  No-op when
+    ``REPRO_SWEEP_CHAOS`` is unset.
+    """
+    action = parse_chaos(os.environ.get(CHAOS_ENV, ""))
+    if action is None or not action.matches(cell_index, attempt):
+        return
+    if action.action == "raise":
+        raise ChaosError(
+            f"chaos-injected failure for cell {cell_index} "
+            f"(attempt {attempt})"
+        )
+    if not in_worker:
+        return
+    if action.action == "kill":
+        os._exit(KILL_EXIT_CODE)
+    if action.action == "stall":
+        time.sleep(action.seconds)

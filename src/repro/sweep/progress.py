@@ -3,7 +3,10 @@
 The runner emits one ``sweep-start`` event, one ``cell-done`` event
 per finished cell (in *completion* order -- the only place completion
 order is visible; results themselves are keyed by cell index), and a
-final ``sweep-done``.  Consumers get them through a plain callback,
+final ``sweep-done``.  Supervision adds ``cell-restored`` (resumed
+from a checkpoint), ``cell-retry`` (an attempt failed and the cell
+will be re-dispatched), and ``cell-failed`` (retries exhausted; the
+cell is quarantined).  Consumers get them through a plain callback,
 so the CLI can render a ticker and tests can record the stream.
 """
 
@@ -14,7 +17,10 @@ from typing import Callable
 
 #: Event kinds, in lifecycle order.
 SWEEP_START = "sweep-start"
+CELL_RESTORED = "cell-restored"
 CELL_DONE = "cell-done"
+CELL_RETRY = "cell-retry"
+CELL_FAILED = "cell-failed"
 SWEEP_DONE = "sweep-done"
 
 
@@ -22,18 +28,43 @@ SWEEP_DONE = "sweep-done"
 class ProgressEvent:
     """One step of a sweep's execution."""
 
-    kind: str            # SWEEP_START | CELL_DONE | SWEEP_DONE
+    kind: str            # one of the constants above
     completed: int       # cells finished so far (== total when done)
     total: int           # cells in the sweep
-    index: int | None = None   # finished cell's index (CELL_DONE only)
-    label: str = ""            # finished cell's label (CELL_DONE only)
+    index: int | None = None   # affected cell's index (cell-* only)
+    label: str = ""            # affected cell's label (cell-* only)
     elapsed_s: float = 0.0     # wall time since the sweep started
+    worker_pid: int | None = None  # pid that ran the cell (pool path)
+    attempt: int = 1           # 1-based attempt this event refers to
+    max_attempts: int = 1      # 1 + max_retries
+    reason: str = ""           # failure reason (retry/failed only)
 
     def __str__(self) -> str:
         if self.kind == CELL_DONE:
+            extra = ""
+            if self.worker_pid is not None:
+                extra += f" pid={self.worker_pid}"
+            if self.attempt > 1:
+                extra += f" attempt={self.attempt}/{self.max_attempts}"
             return (
                 f"[{self.completed}/{self.total}] {self.label} "
-                f"({self.elapsed_s:.1f}s)"
+                f"({self.elapsed_s:.1f}s{extra})"
+            )
+        if self.kind == CELL_RESTORED:
+            return (
+                f"[{self.completed}/{self.total}] restored {self.label} "
+                "from checkpoint"
+            )
+        if self.kind == CELL_RETRY:
+            return (
+                f"retry cell={self.index} "
+                f"attempt={self.attempt}/{self.max_attempts} "
+                f"reason={self.reason}"
+            )
+        if self.kind == CELL_FAILED:
+            return (
+                f"! cell {self.index} failed after "
+                f"{self.attempt} attempt(s): {self.reason}"
             )
         return f"{self.kind}: {self.completed}/{self.total} cells"
 

@@ -201,3 +201,29 @@ class SweepSpec:
     def cells(self) -> tuple[SweepCell, ...]:
         """Every cell, in index order."""
         return tuple(self.cell(i) for i in range(self.n_cells))
+
+    def digest(self) -> str:
+        """Hex digest identifying this spec (base, points, seeds).
+
+        Computed over the ``repr`` of the canonical frozen form of the
+        spec (sets sorted, dataclasses field-ordered, dicts
+        key-sorted; every leaf a primitive), so two value-equal specs
+        digest identically no matter how they were built -- including
+        a spec pickled into a checkpoint header and loaded back, whose
+        internal object sharing differs from the original's (which is
+        why the digest must not hash pickle bytes).  The checkpoint
+        layer (:mod:`repro.sweep.checkpoint`) keys its write-ahead log
+        on this, refusing to merge cells into a sweep they do not
+        belong to.
+        """
+        import hashlib
+
+        from ..scenario.engine import _freeze
+
+        canonical = (
+            _freeze(self.base),
+            _freeze(self.points),
+            self.seeds,
+        )
+        payload = repr(canonical).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()

@@ -15,8 +15,17 @@ Fault-stream isolation: each cell's ``FaultPlan`` is resolved inside
 -- the worker holds no shared fault RNG, so a cell's fault draws are
 a pure function of its config, wherever it runs.
 
-The serial (``jobs=1``) path goes through :func:`run_chunk_serial`,
-which pickle-roundtrips the chunk first: worker processes only ever
+Supervision contract: a worker never lets one cell's exception escape
+the task -- every cell produces a :class:`CellOutcome`, carrying
+either the result or the error string, plus the worker's pid and the
+cell's routing-layer counter deltas (``DELTA_STATS`` /
+``PREFIX_CACHE_STATS``), so the parent can retry failed cells, spot
+which process did what, and surface fallback storms.  Only process
+death (crash, chaos kill, OOM) loses a task, and the runner detects
+that as ``BrokenProcessPool``.
+
+The serial (``jobs=1``) path goes through :func:`run_cells_serial`,
+which pickle-roundtrips the cells first: worker processes only ever
 see pickled copies of cell configs, and mirroring that inline keeps
 stateful objects inside a config (e.g. defense controllers, which
 accumulate per-run state) from leaking between cells or back into the
@@ -26,11 +35,17 @@ bit-identical by construction.
 
 from __future__ import annotations
 
+import os
 import pickle
-from typing import TYPE_CHECKING
+import signal
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
 
+from ..netsim import DELTA_STATS
+from ..netsim.anycast import PREFIX_CACHE_STATS
 from ..scenario.engine import Substrate, build_substrate, simulate
 from ..scenario.engine import substrate_signature
+from .chaos import maybe_inject
 
 if TYPE_CHECKING:
     from ..scenario.engine import ScenarioResult
@@ -42,9 +57,44 @@ if TYPE_CHECKING:
 _SUBSTRATE_CACHE: dict[tuple[object, ...], Substrate] = {}
 _CACHE_MAX = 4
 
+#: True inside a process-pool worker (set by :func:`init_worker`);
+#: gates chaos actions that must never take down the parent.
+_IN_WORKER = False
+
+
+@dataclass(frozen=True, slots=True)
+class CellOutcome:
+    """What one attempt at one cell produced.
+
+    Exactly one of ``result``/``error`` is set.  ``routing_stats``
+    holds this cell's *deltas* of the process-global routing counters
+    (keys prefixed ``delta/`` and ``prefix_cache/``), so the parent
+    can sum them across workers without double counting.
+    """
+
+    index: int
+    result: "ScenarioResult | None"
+    error: str | None
+    worker_pid: int
+    routing_stats: dict[str, int]
+
 
 def init_worker() -> None:
-    """Process-pool initializer: start with an empty substrate cache."""
+    """Process-pool initializer: empty substrate cache, worker flag,
+    clean signal disposition.
+
+    With the ``fork`` start method a worker inherits the parent's
+    graceful-drain SIGINT/SIGTERM handlers (the runner installs them
+    before spawning the pool); left in place they would swallow the
+    supervisor's ``terminate()`` and turn every pool kill into a hang.
+    Workers therefore restore SIGTERM to its default (die) and ignore
+    SIGINT (a Ctrl-C goes to the whole foreground process group; the
+    *parent* drains gracefully and decides the workers' fate).
+    """
+    global _IN_WORKER
+    _IN_WORKER = True
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
     _SUBSTRATE_CACHE.clear()
 
 
@@ -59,23 +109,63 @@ def _substrate_for(cell: SweepCell) -> Substrate:
     return substrate
 
 
-def run_chunk(
-    cells: tuple[SweepCell, ...],
-) -> list[tuple[int, ScenarioResult]]:
-    """Simulate one chunk of cells; results keyed by cell index."""
-    return [
-        (cell.index, simulate(cell.config, _substrate_for(cell)))
-        for cell in cells
-    ]
+def _stats_snapshot() -> dict[str, int]:
+    snapshot = {f"delta/{k}": v for k, v in DELTA_STATS.items()}
+    snapshot.update(
+        {f"prefix_cache/{k}": v for k, v in PREFIX_CACHE_STATS.items()}
+    )
+    return snapshot
 
 
-def run_chunk_serial(
-    cells: tuple[SweepCell, ...],
-) -> list[tuple[int, ScenarioResult]]:
-    """Inline chunk execution mirroring the process boundary.
+def _run_cell(cell: SweepCell, attempt: int) -> CellOutcome:
+    """One attempt at one cell; exceptions become error outcomes."""
+    pid = os.getpid()
+    before = _stats_snapshot()
+    try:
+        maybe_inject(cell.index, attempt, in_worker=_IN_WORKER)
+        result = simulate(cell.config, _substrate_for(cell))
+    except Exception as exc:
+        return CellOutcome(
+            index=cell.index,
+            result=None,
+            error=f"{type(exc).__name__}: {exc}",
+            worker_pid=pid,
+            routing_stats={},
+        )
+    after = _stats_snapshot()
+    stats = {
+        name: after[name] - before[name]
+        for name in after
+        if after[name] != before[name]
+    }
+    return CellOutcome(
+        index=cell.index,
+        result=result,
+        error=None,
+        worker_pid=pid,
+        routing_stats=stats,
+    )
 
-    The chunk is pickle-roundtripped before running, exactly as a pool
-    worker would receive it, so the serial path sees the same fresh
-    config copies as the parallel one.
+
+def run_cells(
+    cells: tuple[SweepCell, ...], attempts: Mapping[int, int]
+) -> list[CellOutcome]:
+    """Simulate one task's cells; one outcome per cell, index order.
+
+    *attempts* maps cell index to the 0-based attempt number the
+    runner is on, which the chaos hook keys off.  A failing cell does
+    not stop the rest of the task -- its outcome carries the error.
     """
-    return run_chunk(pickle.loads(pickle.dumps(cells)))
+    return [_run_cell(cell, attempts.get(cell.index, 0)) for cell in cells]
+
+
+def run_cells_serial(
+    cells: Sequence[SweepCell], attempts: Mapping[int, int]
+) -> list[CellOutcome]:
+    """Inline execution mirroring the process boundary.
+
+    The cells are pickle-roundtripped before running, exactly as a
+    pool worker would receive them, so the serial path sees the same
+    fresh config copies as the parallel one.
+    """
+    return run_cells(pickle.loads(pickle.dumps(tuple(cells))), attempts)

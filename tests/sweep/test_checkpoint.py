@@ -1,0 +1,147 @@
+"""Checkpoint WAL: round-trip, torn tails, corruption, idempotence."""
+
+import json
+
+import pytest
+
+from repro.scenario import diff_arrays, result_arrays
+from repro.sweep import (
+    CheckpointError,
+    CheckpointWriter,
+    SweepSpec,
+    load_checkpoint,
+    resume_command,
+    run_sweep,
+    spec_digest,
+)
+
+
+@pytest.fixture(scope="module")
+def spec(tiny_base):
+    return SweepSpec.grid(tiny_base, {"baseline_days": [3, 7]})
+
+
+@pytest.fixture(scope="module")
+def reference(spec):
+    return run_sweep(spec, jobs=1)
+
+
+def _write_full(path, spec, reference):
+    with CheckpointWriter(path, spec) as writer:
+        for cell, result in zip(reference.cells, reference.results):
+            writer.record(cell, result)
+    return path
+
+
+class TestRoundTrip:
+    def test_all_cells_recovered_bit_identical(
+        self, tmp_path, spec, reference
+    ):
+        path = _write_full(tmp_path / "ckpt.jsonl", spec, reference)
+        data = load_checkpoint(path, spec)
+        assert sorted(data.results) == list(range(spec.n_cells))
+        assert data.dropped_lines == 0
+        for index, result in data.results.items():
+            assert not diff_arrays(
+                result_arrays(result),
+                result_arrays(reference.results[index]),
+            )
+
+    def test_digest_matches_spec(self, tmp_path, spec, reference):
+        path = _write_full(tmp_path / "ckpt.jsonl", spec, reference)
+        assert load_checkpoint(path).digest == spec_digest(spec)
+
+    def test_spec_survives_header_round_trip(
+        self, tmp_path, spec, reference
+    ):
+        # The header's pickled spec must digest identically to the
+        # original, or --resume would reject its own checkpoint.
+        path = _write_full(tmp_path / "ckpt.jsonl", spec, reference)
+        data = load_checkpoint(path)
+        assert spec_digest(data.spec) == spec_digest(spec)
+        assert data.spec == spec
+
+
+class TestTornAndCorrupt:
+    def test_torn_tail_truncated_not_fatal(
+        self, tmp_path, spec, reference
+    ):
+        path = _write_full(tmp_path / "ckpt.jsonl", spec, reference)
+        blob = path.read_bytes()
+        # Chop the last record mid-line, as a crash mid-write would.
+        path.write_bytes(blob[: len(blob) - 40])
+        data = load_checkpoint(path, spec)
+        assert sorted(data.results) == [0]
+        assert data.dropped_lines == 1
+
+    def test_crc_mismatch_truncates_there(
+        self, tmp_path, spec, reference
+    ):
+        path = _write_full(tmp_path / "ckpt.jsonl", spec, reference)
+        lines = path.read_bytes().splitlines(keepends=True)
+        record = json.loads(lines[1])
+        record["crc"] ^= 1
+        lines[1] = (json.dumps(record, sort_keys=True) + "\n").encode()
+        path.write_bytes(b"".join(lines))
+        data = load_checkpoint(path, spec)
+        # Bad line 1 drops itself AND the (valid) line after it: in an
+        # append-only log everything past the first bad byte is
+        # untrusted.
+        assert data.results == {}
+        assert data.dropped_lines == 2
+
+    def test_wrong_spec_rejected(self, tmp_path, spec, reference):
+        path = _write_full(tmp_path / "ckpt.jsonl", spec, reference)
+        other = SweepSpec.grid(spec.base, {"baseline_days": [1, 2]})
+        with pytest.raises(CheckpointError, match="different sweep spec"):
+            load_checkpoint(path, other)
+
+    def test_missing_and_empty_files_raise(self, tmp_path, spec):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(tmp_path / "nope.jsonl")
+        empty = tmp_path / "empty.jsonl"
+        empty.write_bytes(b"")
+        with pytest.raises(CheckpointError, match="empty"):
+            load_checkpoint(empty)
+
+    def test_non_checkpoint_file_raises(self, tmp_path):
+        junk = tmp_path / "junk.jsonl"
+        junk.write_text('{"hello": "world"}\n')
+        with pytest.raises(CheckpointError, match="not a version"):
+            load_checkpoint(junk)
+
+
+class TestWriter:
+    def test_record_is_idempotent(self, tmp_path, spec, reference):
+        path = tmp_path / "ckpt.jsonl"
+        with CheckpointWriter(path, spec) as writer:
+            cell = reference.cells[0]
+            writer.record(cell, reference.results[0])
+            size_once = path.stat().st_size
+            writer.record(cell, reference.results[0])
+            assert path.stat().st_size == size_once
+            assert writer.recorded == {0}
+
+    def test_reopen_appends_after_valid_prefix(
+        self, tmp_path, spec, reference
+    ):
+        path = tmp_path / "ckpt.jsonl"
+        with CheckpointWriter(path, spec) as writer:
+            writer.record(reference.cells[0], reference.results[0])
+        # Simulate a torn tail, then reopen: the tail is physically
+        # truncated and the second cell appends cleanly after cell 0.
+        path.write_bytes(path.read_bytes() + b'{"torn')
+        with CheckpointWriter(path, spec) as writer:
+            assert writer.recorded == {0}
+            writer.record(reference.cells[1], reference.results[1])
+        data = load_checkpoint(path, spec)
+        assert sorted(data.results) == [0, 1]
+        assert data.dropped_lines == 0
+
+
+class TestResumeCommand:
+    def test_includes_path_and_jobs(self):
+        cmd = resume_command("/tmp/c.jsonl", jobs=4)
+        assert "--resume /tmp/c.jsonl" in cmd
+        assert "--jobs 4" in cmd
+        assert "--jobs" not in resume_command("/tmp/c.jsonl", jobs=1)

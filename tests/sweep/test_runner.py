@@ -75,6 +75,33 @@ class TestDefaultChunkSize:
         assert default_chunk_size(0, 4) == 1
 
 
+class TestEdgeGrids:
+    """Degenerate grids must be bit-identical serial vs pool."""
+
+    def _check(self, spec, **pool_kwargs):
+        serial = run_sweep(spec, jobs=1)
+        pooled = run_sweep(spec, **pool_kwargs)
+        assert len(serial.results) == len(pooled.results) == spec.n_cells
+        for a, b in zip(serial.results, pooled.results):
+            assert not diff_arrays(result_arrays(a), result_arrays(b))
+
+    def test_no_axes_is_one_cell(self, tiny_base):
+        spec = SweepSpec.grid(tiny_base, {})
+        assert spec.n_cells == 1
+        self._check(spec, jobs=2)
+
+    def test_single_cell_grid(self, tiny_base):
+        spec = SweepSpec.grid(tiny_base, {"baseline_days": [3]})
+        assert spec.n_cells == 1
+        self._check(spec, jobs=2)
+
+    def test_chunk_size_larger_than_cell_count(self, two_cell_spec):
+        self._check(two_cell_spec, jobs=2, chunk_size=64)
+
+    def test_more_jobs_than_cells(self, two_cell_spec):
+        self._check(two_cell_spec, jobs=4, chunk_size=1)
+
+
 class TestStatefulControllers:
     def test_controller_state_never_leaks_between_runs(self, tiny_base):
         # GreedyShedController mutates internal state during a run; the
