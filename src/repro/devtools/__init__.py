@@ -6,7 +6,9 @@ make that true -- no global RNG, no wall-clock reads, no ``id()``-keyed
 caches, no draw-order-sensitive set iteration -- used to live only in
 code comments and reviewer memory.  PR 1 fixed a real GC-aliasing
 ``id(table)`` cache bug of exactly this class.  This package encodes
-those invariants as machine-checked AST rules:
+those invariants as machine-checked rules, at two granularities.
+
+Per-file AST rules (``python -m repro.devtools.lint src tests``):
 
 =========  ==========================================================
 DET001     global / unseeded randomness (``random.*``, legacy
@@ -18,10 +20,29 @@ COR001     mutable default arguments
 COR002     float ``==`` / ``!=`` comparisons
 =========  ==========================================================
 
-Run it with ``python -m repro.devtools.lint src tests`` or the
-``scripts/lint_repro.py`` wrapper.  A justified violation is silenced
-in place with ``# repro: noqa DET001 -- reason`` (the justification is
-mandatory; unused or unjustified suppressions are themselves flagged).
+Whole-program purity rules (``python -m repro.devtools.lint --purity
+src``): :mod:`.callgraph` builds a project-wide symbol table and call
+graph, :mod:`.effects` computes per-function effect summaries
+bottom-up over its SCC condensation, and :mod:`.purity` checks the
+declared purity roots (sweep worker entrypoints, checkpoint replay,
+the routing kernels, the scenario engine) against them:
+
+=========  ==========================================================
+PUR001     root transitively reads the wall clock
+PUR002     root transitively draws unseeded randomness
+PUR003     root transitively mutates global state
+PUR004     root transitively reads the process environment
+PUR005     root transitively writes the filesystem
+PUR006     root transitively iterates a bare set
+=========  ==========================================================
+
+A justified per-file violation is silenced in place with ``# repro:
+noqa DET001 -- reason``; purity exemptions live in one allowlist file
+(``purity_allowlist.txt``) with the same ``-- justification`` contract
+(unjustified entries are NOQ001, stale ones NOQ002).  What static
+analysis cannot see, the runtime sanitizer (:mod:`.sanitize`,
+``REPRO_SANITIZE=1``) catches at the site: frozen shared arrays and
+per-stream RNG draw accounting.
 """
 
 from __future__ import annotations

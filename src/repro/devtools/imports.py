@@ -6,15 +6,41 @@ it is spelled as: ``np.random.seed``, ``numpy.random.seed`` and
 :class:`ImportMap` records every absolute import binding in a module
 so rules can normalise attribute chains to full dotted names.
 
-Relative imports (``from ..util import rng``) resolve inside this
-package and are never the stdlib/numpy modules the rules target, so
-they are deliberately left out of the map.
+For the per-file rules, relative imports (``from ..util import rng``)
+resolve inside this package and are never the stdlib/numpy modules the
+rules target, so they are left out of the map by default.  The
+interprocedural analyzer (:mod:`repro.devtools.callgraph`) *does* need
+them -- a purity witness path follows project-internal edges -- so
+:meth:`ImportMap.from_tree` optionally takes the module's own dotted
+name and resolves relative imports against it.
 """
 
 from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
+
+
+def resolve_relative(
+    module: str, is_package: bool, level: int, target: str | None
+) -> str | None:
+    """Absolute dotted path of a level-*level* relative import written
+    inside *module* (``None`` if the import escapes the root package).
+
+    ``from . import x`` in ``repro.netsim.bgp`` has ``level=1`` and
+    resolves against ``repro.netsim``; each further level drops one
+    more package component.
+    """
+    parts = module.split(".")
+    package = parts if is_package else parts[:-1]
+    if level - 1 > len(package):
+        return None
+    base = package[: len(package) - (level - 1)]
+    if target:
+        base = base + target.split(".")
+    if not base:
+        return None
+    return ".".join(base)
 
 
 @dataclass(slots=True)
@@ -24,8 +50,19 @@ class ImportMap:
     bindings: dict[str, str] = field(default_factory=dict)
 
     @classmethod
-    def from_tree(cls, tree: ast.Module) -> "ImportMap":
-        """Collect bindings from every import statement in *tree*."""
+    def from_tree(
+        cls,
+        tree: ast.Module,
+        *,
+        module: str | None = None,
+        is_package: bool = False,
+    ) -> "ImportMap":
+        """Collect bindings from every import statement in *tree*.
+
+        With *module* (the tree's own dotted module name), relative
+        imports are resolved against it; without it they are skipped,
+        which is the right behaviour for the per-file rules.
+        """
         bindings: dict[str, str] = {}
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
@@ -37,11 +74,21 @@ class ImportMap:
                         top = alias.name.split(".", 1)[0]
                         bindings[top] = top
             elif isinstance(node, ast.ImportFrom):
-                if node.level or node.module is None:
-                    continue  # relative import: out of scope
+                if node.level:
+                    if module is None:
+                        continue  # relative import: out of scope
+                    base = resolve_relative(
+                        module, is_package, node.level, node.module
+                    )
+                    if base is None:
+                        continue
+                elif node.module is None:
+                    continue
+                else:
+                    base = node.module
                 for alias in node.names:
                     local = alias.asname or alias.name
-                    bindings[local] = f"{node.module}.{alias.name}"
+                    bindings[local] = f"{base}.{alias.name}"
         return cls(bindings=bindings)
 
     def resolve(self, node: ast.AST) -> str | None:

@@ -1,10 +1,18 @@
 """Command-line entry point: ``python -m repro.devtools.lint src tests``.
 
+Two analysis modes share one CLI and one report/exit-code contract:
+
+* default -- the per-file DET/COR rules;
+* ``--purity`` -- the interprocedural PUR rules: build the project
+  call graph under the given paths and check every declared purity
+  root against the effect summaries (see :mod:`repro.devtools.purity`).
+
 Exit codes form a contract CI relies on:
 
 * ``0`` -- every checked file is clean;
 * ``1`` -- at least one violation (printed as ``file:line:col: RULE``);
-* ``2`` -- the lint itself failed (missing path, unparseable file).
+* ``2`` -- the lint itself failed (missing path, unparseable file,
+  missing purity root).
 """
 
 from __future__ import annotations
@@ -15,7 +23,7 @@ from pathlib import Path
 from typing import Sequence
 
 from .registry import rule_descriptions
-from .report import render_json, render_text
+from .report import render_json, render_text, render_timings
 from .runner import lint_paths
 
 
@@ -24,7 +32,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.devtools.lint",
         description=(
             "Enforce the repo's determinism/correctness invariants "
-            "(DET001-DET004, COR001-COR002) over Python sources."
+            "(DET001-DET004, COR001-COR002 per file; PUR001-PUR006 "
+            "interprocedurally with --purity) over Python sources."
         ),
     )
     parser.add_argument(
@@ -40,6 +49,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format (default: text)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "lint N files in parallel (0 = one worker per CPU; "
+            "default: 1; per-file mode only)"
+        ),
+    )
+    parser.add_argument(
+        "--timing",
+        action="store_true",
+        help="print per-rule wall time after the report (per-file mode)",
+    )
+    parser.add_argument(
+        "--purity",
+        action="store_true",
+        help=(
+            "run the interprocedural purity analysis (PUR001-PUR006) "
+            "instead of the per-file rules"
+        ),
+    )
+    parser.add_argument(
+        "--purity-root",
+        action="append",
+        default=None,
+        metavar="QUALNAME",
+        help=(
+            "check this function qualname instead of the declared "
+            "purity roots (repeatable)"
+        ),
+    )
+    parser.add_argument(
+        "--purity-allowlist",
+        default=None,
+        metavar="FILE",
+        help=(
+            "purity allowlist file (default: the in-repo "
+            "purity_allowlist.txt next to repro.devtools.purity)"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print every registered rule and exit",
@@ -51,7 +102,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.list_rules:
-        for code, summary, rationale in rule_descriptions():
+        from .purity import purity_rule_descriptions
+
+        for code, summary, rationale in (
+            *rule_descriptions(),
+            *purity_rule_descriptions(),
+        ):
             print(f"{code}  {summary}")
             print(f"        {rationale}")
         return 0
@@ -62,11 +118,30 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"error: no such path: {path}", file=sys.stderr)
         return 2
 
-    report = lint_paths(args.paths)
+    if args.purity:
+        from .purity import run_purity
+
+        roots = None
+        if args.purity_root:
+            roots = {
+                qualname: "requested via --purity-root"
+                for qualname in args.purity_root
+            }
+        report = run_purity(
+            args.paths,
+            roots=roots,
+            allowlist_path=args.purity_allowlist,
+        )
+    else:
+        report = lint_paths(args.paths, jobs=args.jobs)
+
     rendered = (
         render_json(report) if args.format == "json" else render_text(report)
     )
     print(rendered)
+    if args.timing and args.format == "text":
+        print()
+        print(render_timings(report))
     return report.exit_code
 
 

@@ -24,27 +24,45 @@ _TEST_BASENAMES = ("test_", "conftest")
 
 @dataclass(frozen=True, slots=True)
 class Violation:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    ``witness`` is empty for the per-file rules; the interprocedural
+    purity rules (PUR001-PUR006) fill it with the call chain from the
+    purity root to the offending operation, one ``qualname
+    (file:line)`` hop per element.
+    """
 
     path: str
     line: int
     col: int
     rule: str
     message: str
+    witness: tuple[str, ...] = ()
 
     def format(self) -> str:
-        """The text reporter's ``file:line:col: RULE message`` line."""
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        """The text reporter's ``file:line:col: RULE message`` line(s).
+
+        Witness hops, when present, follow on indented continuation
+        lines so the first line stays grep/editor friendly.
+        """
+        head = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if not self.witness:
+            return head
+        hops = "\n".join(f"    {hop}" for hop in self.witness)
+        return f"{head}\n{hops}"
 
     def to_json(self) -> dict[str, object]:
         """A JSON-serialisable record of this violation."""
-        return {
+        record: dict[str, object] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
             "rule": self.rule,
             "message": self.message,
         }
+        if self.witness:
+            record["witness"] = list(self.witness)
+        return record
 
 
 @dataclass(slots=True)

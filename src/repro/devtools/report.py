@@ -30,7 +30,7 @@ def render_text(report: LintReport) -> str:
 
 def render_json(report: LintReport) -> str:
     """Machine-readable report (stable key order, one JSON object)."""
-    payload = {
+    payload: dict[str, object] = {
         "checked_files": report.checked_files,
         "violations": [v.to_json() for v in report.violations],
         "errors": [
@@ -39,4 +39,24 @@ def render_json(report: LintReport) -> str:
         ],
         "exit_code": report.exit_code,
     }
+    if report.rule_timings:
+        payload["rule_timings"] = {
+            code: round(seconds, 6)
+            for code, seconds in report.rule_timings.items()
+        }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_timings(report: LintReport) -> str:
+    """Per-rule wall-time table, slowest rule first."""
+    if not report.rule_timings:
+        return "no per-rule timing collected"
+    total = sum(report.rule_timings.values())
+    rows = ["rule     seconds   share"]
+    for code, seconds in sorted(
+        report.rule_timings.items(), key=lambda item: (-item[1], item[0])
+    ):
+        share = seconds / total if total > 0 else 0.0
+        rows.append(f"{code:<8} {seconds:8.4f}   {share:5.1%}")
+    rows.append(f"total    {total:8.4f}")
+    return "\n".join(rows)

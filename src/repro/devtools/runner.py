@@ -2,11 +2,19 @@
 
 The runner owns the parts that are rule-independent: file discovery,
 parsing, suppression bookkeeping (including flagging unjustified and
-unused ``# repro: noqa`` comments), and stable ordering of results.
+unused ``# repro: noqa`` comments), stable ordering of results, and
+the execution strategy.  Files are independent, so ``jobs > 1`` fans
+them out over a process pool; results are merged back in path order,
+making the report byte-identical to a serial run.  Each rule's wall
+time is accumulated per rule code (serial) or per code summed across
+workers (parallel) so ``--timing`` can show where lint time goes.
 """
 
 from __future__ import annotations
 
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -31,6 +39,8 @@ class LintReport:
     #: Files that could not be parsed: (path, error message).
     errors: list[tuple[str, str]] = field(default_factory=list)
     checked_files: int = 0
+    #: Rule code -> total seconds spent in that rule's ``check``.
+    rule_timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def exit_code(self) -> int:
@@ -55,21 +65,32 @@ def iter_python_files(paths: Sequence[str]) -> list[Path]:
 
 
 def lint_source(
-    text: str, path: str, rules: Iterable[Rule] | None = None
+    text: str,
+    path: str,
+    rules: Iterable[Rule] | None = None,
+    timings: dict[str, float] | None = None,
 ) -> list[Violation]:
     """Lint one source string as if it lived at *path*.
 
     This is the unit-test surface: rule fixtures feed snippets through
     it with a fake path to exercise scope handling.  Raises
-    :class:`SyntaxError` if *text* does not parse.
+    :class:`SyntaxError` if *text* does not parse.  With *timings*,
+    each rule's elapsed seconds are accumulated into it by rule code.
     """
     file = SourceFile.parse(path, text)
     active = list(all_rules() if rules is None else rules)
 
     raw: list[Violation] = []
     for rule in active:
-        if rule.applies_to(file):
+        if not rule.applies_to(file):
+            continue
+        if timings is None:
             raw.extend(rule.check(file))
+            continue
+        started = time.perf_counter()  # repro: noqa DET003 -- lint self-profiling; measures the linter, never simulation output
+        raw.extend(rule.check(file))
+        elapsed = time.perf_counter() - started  # repro: noqa DET003 -- lint self-profiling; measures the linter, never simulation output
+        timings[rule.code] = timings.get(rule.code, 0.0) + elapsed
 
     suppressions = parse_suppressions(text)
     kept = [v for v in raw if not _suppress(v, suppressions)]
@@ -130,26 +151,101 @@ def _suppression_violations(
     return flagged
 
 
-def lint_paths(
-    paths: Sequence[str], rules: Iterable[Rule] | None = None
-) -> LintReport:
-    """Lint every Python file under *paths*."""
-    report = LintReport()
-    active = list(all_rules() if rules is None else rules)
-    for file_path in iter_python_files(paths):
-        name = file_path.as_posix()
-        try:
-            text = file_path.read_text(encoding="utf-8")
-        except OSError as exc:
-            report.errors.append((name, f"unreadable: {exc}"))
-            continue
-        try:
-            report.violations.extend(lint_source(text, name, active))
-        except SyntaxError as exc:
-            report.errors.append(
-                (name, f"syntax error at line {exc.lineno}: {exc.msg}")
-            )
-            continue
+#: One worker's result for one file: (path, violations, error message
+#: or None, per-rule timings).  Shipped back over the pool pickle
+#: boundary, so everything in it must be picklable.
+_FileResult = tuple[str, list[Violation], str | None, dict[str, float]]
+
+
+def _lint_one_file(name: str) -> _FileResult:
+    """Process-pool task: lint a single file with the full rule set.
+
+    Top-level (picklable) and rule-set-free on purpose: each worker
+    builds the registry's rules itself, so only the path crosses the
+    pool boundary going in.
+    """
+    timings: dict[str, float] = {}
+    try:
+        text = Path(name).read_text(encoding="utf-8")
+    except OSError as exc:
+        return name, [], f"unreadable: {exc}", timings
+    try:
+        violations = lint_source(text, name, None, timings)
+    except SyntaxError as exc:
+        return (
+            name,
+            [],
+            f"syntax error at line {exc.lineno}: {exc.msg}",
+            timings,
+        )
+    return name, violations, None, timings
+
+
+def _merge(report: LintReport, result: _FileResult) -> None:
+    name, violations, error, timings = result
+    if error is not None:
+        report.errors.append((name, error))
+    else:
+        report.violations.extend(violations)
         report.checked_files += 1
+    for code, elapsed in timings.items():
+        report.rule_timings[code] = (
+            report.rule_timings.get(code, 0.0) + elapsed
+        )
+
+
+def resolve_jobs(jobs: int) -> int:
+    """``jobs <= 0`` means one worker per CPU (minimum 1)."""
+    if jobs > 0:
+        return jobs
+    return max(1, os.cpu_count() or 1)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Iterable[Rule] | None = None,
+    jobs: int = 1,
+) -> LintReport:
+    """Lint every Python file under *paths*.
+
+    With ``jobs != 1`` the files are linted by a process pool (``0``
+    = one worker per CPU); a custom *rules* iterable forces the serial
+    path, since pool workers always run the registered rule set.
+    Output is identical either way: results merge in path order.
+    """
+    report = LintReport()
+    files = iter_python_files(paths)
+    effective_jobs = resolve_jobs(jobs)
+
+    if rules is None and effective_jobs > 1 and len(files) > 1:
+        names = [f.as_posix() for f in files]
+        workers = min(effective_jobs, len(names))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for result in pool.map(_lint_one_file, names, chunksize=8):
+                _merge(report, result)
+    else:
+        active = list(all_rules() if rules is None else rules)
+        for file_path in files:
+            name = file_path.as_posix()
+            timings: dict[str, float] = {}
+            try:
+                text = file_path.read_text(encoding="utf-8")
+            except OSError as exc:
+                _merge(report, (name, [], f"unreadable: {exc}", timings))
+                continue
+            try:
+                violations = lint_source(text, name, active, timings)
+            except SyntaxError as exc:
+                _merge(
+                    report,
+                    (
+                        name,
+                        [],
+                        f"syntax error at line {exc.lineno}: {exc.msg}",
+                        timings,
+                    ),
+                )
+                continue
+            _merge(report, (name, violations, None, timings))
     report.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
     return report

@@ -34,13 +34,13 @@ from __future__ import annotations
 
 import enum
 import itertools
-import os
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Mapping
 
 import numpy as np
 
+from ..util.env import BGP_DELTA, env_flag
 from ..util.geo import Location, haversine_km
 from .asgraph import ASGraph, CompiledGraph
 
@@ -1049,7 +1049,7 @@ def delta_enabled() -> bool:
     bit-identical either way; the knob exists to isolate it when
     debugging.
     """
-    return os.environ.get("REPRO_BGP_DELTA", "1") != "0"
+    return env_flag(BGP_DELTA, default=True)
 
 #: Record-forest growth bound (multiple of node count) beyond which a
 #: chained delta falls back to full propagation instead of appending to

@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..atlas.probing import LetterProber, SiteBinConditions
+from ..devtools import sanitize
 from ..atlas.vps import build_vps
 from ..attack.botnet import Botnet, build_botnet
 from ..attack.events import active_event, attack_rate
@@ -374,6 +375,11 @@ def build_substrate(config: ScenarioConfig) -> Substrate:
         deployments[letter].prefix.attach_shared_memo(
             substrate.routing_memo, letter
         )
+    # Under REPRO_SANITIZE=1 the constant arrays every run shares are
+    # locked read-only, so an in-place mutation raises at the write
+    # site instead of corrupting a sibling sweep cell.
+    if sanitize.enabled():
+        sanitize.freeze_substrate(substrate)
     return substrate
 
 

@@ -31,8 +31,10 @@ import os
 import time
 from dataclasses import dataclass
 
+from ..util.env import SWEEP_CHAOS, env_str
+
 #: Environment variable holding the chaos spec.
-CHAOS_ENV = "REPRO_SWEEP_CHAOS"
+CHAOS_ENV = SWEEP_CHAOS
 
 #: Exit status of a chaos-killed worker (distinctive in logs).
 KILL_EXIT_CODE = 87
@@ -112,7 +114,7 @@ def maybe_inject(cell_index: int, attempt: int, *, in_worker: bool) -> None:
     (``in_worker=True``); ``raise`` fires anywhere.  No-op when
     ``REPRO_SWEEP_CHAOS`` is unset.
     """
-    action = parse_chaos(os.environ.get(CHAOS_ENV, ""))
+    action = parse_chaos(env_str(CHAOS_ENV))
     if action is None or not action.matches(cell_index, attempt):
         return
     if action.action == "raise":

@@ -41,6 +41,7 @@ import signal
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping, Sequence
 
+from ..devtools import sanitize
 from ..netsim import DELTA_STATS
 from ..netsim.anycast import PREFIX_CACHE_STATS
 from ..scenario.engine import Substrate, build_substrate, simulate
@@ -120,10 +121,22 @@ def _stats_snapshot() -> dict[str, int]:
 def _run_cell(cell: SweepCell, attempt: int) -> CellOutcome:
     """One attempt at one cell; exceptions become error outcomes."""
     pid = os.getpid()
+    sanitizing = sanitize.enabled()
     before = _stats_snapshot()
     try:
         maybe_inject(cell.index, attempt, in_worker=_IN_WORKER)
-        result = simulate(cell.config, _substrate_for(cell))
+        substrate = _substrate_for(cell)
+        if sanitizing:
+            # Per-cell draw accounting covers the simulate phase only:
+            # the counters are zeroed *after* the substrate lookup,
+            # because a build may be served from the per-process cache
+            # -- counting its draws would make the telemetry depend on
+            # cache warmth, not on the cell's config.  Zeroed here,
+            # the reported ``sanitize/stream/*`` deltas are a pure
+            # function of the cell's config, identical wherever (and
+            # under whatever jobs count) the cell runs.
+            sanitize.reset_streams()
+        result = simulate(cell.config, substrate)
     except Exception as exc:
         return CellOutcome(
             index=cell.index,
@@ -138,6 +151,13 @@ def _run_cell(cell: SweepCell, attempt: int) -> CellOutcome:
         for name in after
         if after[name] != before[name]
     }
+    if sanitizing:
+        stats.update(
+            {
+                f"sanitize/stream/{label}": count
+                for label, count in sanitize.stream_report().items()
+            }
+        )
     return CellOutcome(
         index=cell.index,
         result=result,

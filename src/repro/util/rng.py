@@ -13,6 +13,8 @@ import zlib
 
 import numpy as np
 
+from .env import SANITIZE, env_flag
+
 
 def derive_seed(root_seed: int, label: str) -> int:
     """Derive a per-component seed from a root seed and a stable label."""
@@ -23,8 +25,19 @@ def derive_seed(root_seed: int, label: str) -> int:
 
 
 def component_rng(root_seed: int, label: str) -> np.random.Generator:
-    """A generator dedicated to one named component of the simulation."""
-    return np.random.default_rng(derive_seed(root_seed, label))
+    """A generator dedicated to one named component of the simulation.
+
+    Under ``REPRO_SANITIZE=1`` the generator is wrapped in a
+    draw-counting proxy (:mod:`repro.devtools.sanitize`); draw values
+    are bit-identical either way, the proxy only tallies calls per
+    stream label so sweep tests can assert ``jobs=N`` draw parity.
+    """
+    generator = np.random.default_rng(derive_seed(root_seed, label))
+    if env_flag(SANITIZE):
+        from ..devtools.sanitize import counting_generator
+
+        return counting_generator(generator, label)
+    return generator
 
 
 class RngFactory:

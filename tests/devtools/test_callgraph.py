@@ -1,0 +1,267 @@
+"""Unit tests for the project index: module naming, symbol
+collection, call resolution strategies, and SCC condensation."""
+
+import textwrap
+from pathlib import Path
+
+from repro.devtools.callgraph import ProjectIndex, module_name_for
+
+
+def _build(tmp_path, files):
+    for relative, source in files.items():
+        path = tmp_path / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return ProjectIndex.build([str(tmp_path)])
+
+
+def _callees(index, qualname):
+    return sorted({edge.callee for edge in index.callees_of(qualname)})
+
+
+class TestModuleNaming:
+    def test_package_walk(self, tmp_path):
+        (tmp_path / "pkg" / "sub").mkdir(parents=True)
+        (tmp_path / "pkg" / "__init__.py").write_text("")
+        (tmp_path / "pkg" / "sub" / "__init__.py").write_text("")
+        target = tmp_path / "pkg" / "sub" / "mod.py"
+        target.write_text("")
+        assert module_name_for(target) == ("pkg.sub.mod", False)
+        init = tmp_path / "pkg" / "sub" / "__init__.py"
+        assert module_name_for(init) == ("pkg.sub", True)
+
+    def test_standalone_file_is_its_stem(self, tmp_path):
+        target = tmp_path / "script.py"
+        target.write_text("")
+        assert module_name_for(target) == ("script", False)
+
+
+class TestCallResolution:
+    def test_module_local_and_imported_calls(self, tmp_path):
+        index = _build(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": """
+                    def helper():
+                        return 1
+
+                    def entry():
+                        return helper()
+                """,
+                "pkg/b.py": """
+                    from .a import helper
+                    from . import a
+
+                    def direct():
+                        return helper()
+
+                    def dotted():
+                        return a.entry()
+                """,
+            },
+        )
+        assert _callees(index, "pkg.a.entry") == ["pkg.a.helper"]
+        assert _callees(index, "pkg.b.direct") == ["pkg.a.helper"]
+        assert _callees(index, "pkg.b.dotted") == ["pkg.a.entry"]
+
+    def test_constructor_links_to_init_and_typed_receiver(self, tmp_path):
+        index = _build(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/model.py": """
+                    class Engine:
+                        def __init__(self):
+                            self.state = 0
+
+                        def step(self):
+                            return self.state
+                """,
+                "pkg/use.py": """
+                    from .model import Engine
+
+                    def drive():
+                        engine = Engine()
+                        return engine.step()
+
+                    def drive_param(engine: Engine):
+                        return engine.step()
+                """,
+            },
+        )
+        assert _callees(index, "pkg.use.drive") == [
+            "pkg.model.Engine.__init__",
+            "pkg.model.Engine.step",
+        ]
+        assert _callees(index, "pkg.use.drive_param") == [
+            "pkg.model.Engine.step"
+        ]
+
+    def test_self_method_and_attr_type(self, tmp_path):
+        index = _build(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/parts.py": """
+                    class Gauge:
+                        def read(self):
+                            return 0
+                """,
+                "pkg/machine.py": """
+                    from .parts import Gauge
+
+                    class Machine:
+                        def __init__(self):
+                            self.gauge = Gauge()
+
+                        def helper(self):
+                            return 1
+
+                        def run(self):
+                            return self.helper() + self.gauge.read()
+                """,
+            },
+        )
+        assert _callees(index, "pkg.machine.Machine.run") == [
+            "pkg.machine.Machine.helper",
+            "pkg.parts.Gauge.read",
+        ]
+
+    def test_return_annotation_resolves_receiver(self, tmp_path):
+        index = _build(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/factory.py": """
+                    class Widget:
+                        def spin(self):
+                            return 1
+
+                    def make() -> Widget:
+                        return Widget()
+
+                    def use():
+                        return make().spin()
+                """,
+            },
+        )
+        assert "pkg.factory.Widget.spin" in _callees(
+            index, "pkg.factory.use"
+        )
+
+    def test_unique_method_fallback_but_not_ambient(self, tmp_path):
+        index = _build(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/only.py": """
+                    class Solo:
+                        def distinctive_probe(self):
+                            return 1
+
+                        def get(self, key):
+                            return key
+                """,
+                "pkg/use.py": """
+                    def call(thing, mapping):
+                        # untyped receiver: resolved because exactly one
+                        # project class defines distinctive_probe...
+                        thing.distinctive_probe()
+                        # ...but .get() is container-ambient, never
+                        # name-matched.
+                        return mapping.get("k")
+                """,
+            },
+        )
+        assert _callees(index, "pkg.use.call") == [
+            "pkg.only.Solo.distinctive_probe"
+        ]
+
+    def test_inherited_method_resolves_through_base(self, tmp_path):
+        index = _build(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/base.py": """
+                    class Base:
+                        def shared(self):
+                            return 0
+                """,
+                "pkg/child.py": """
+                    from .base import Base
+
+                    class Child(Base):
+                        def run(self):
+                            return self.shared()
+                """,
+            },
+        )
+        assert _callees(index, "pkg.child.Child.run") == [
+            "pkg.base.Base.shared"
+        ]
+
+
+class TestSccs:
+    def test_recursion_cycle_is_one_component(self, tmp_path):
+        index = _build(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/rec.py": """
+                    def even(n):
+                        return True if n == 0 else odd(n - 1)
+
+                    def odd(n):
+                        return False if n == 0 else even(n - 1)
+
+                    def top(n):
+                        return even(n)
+                """,
+            },
+        )
+        components = index.sccs()
+        cycle = next(c for c in components if len(c) > 1)
+        assert cycle == ["pkg.rec.even", "pkg.rec.odd"]
+        # Reverse topological: the cycle (callee) precedes the caller.
+        assert components.index(cycle) < components.index(["pkg.rec.top"])
+
+    def test_every_function_appears_exactly_once(self, tmp_path):
+        index = _build(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/m.py": """
+                    def a():
+                        return b()
+
+                    def b():
+                        return 1
+                """,
+            },
+        )
+        flattened = [q for component in index.sccs() for q in component]
+        assert sorted(flattened) == sorted(index.functions)
+        assert len(flattened) == len(set(flattened))
+
+
+class TestErrors:
+    def test_syntax_error_is_recorded_not_raised(self, tmp_path):
+        (tmp_path / "bad.py").write_text("def broken(:\n")
+        index = ProjectIndex.build([str(tmp_path)])
+        assert len(index.errors) == 1
+        path, message = index.errors[0]
+        assert path.endswith("bad.py")
+        assert "syntax error" in message
+
+
+def test_real_tree_indexes_and_links():
+    repo_src = Path(__file__).resolve().parent.parent.parent / "src"
+    index = ProjectIndex.build([str(repo_src)])
+    assert index.errors == []
+    assert len(index.modules) > 80
+    # Spot-check a known cross-package edge: the sweep worker calls
+    # the scenario engine.
+    assert "repro.scenario.engine.simulate" in _callees(
+        index, "repro.sweep.worker._run_cell"
+    )

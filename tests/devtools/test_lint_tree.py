@@ -39,6 +39,36 @@ def test_tests_tree_is_clean():
     )
 
 
+def test_scripts_and_benchmarks_trees_are_clean():
+    # The harness/bench surface is linted by CI too ("other" scope:
+    # wall-clock reads are fine there, COR/DET002 rules still apply).
+    report = lint_paths(
+        [str(REPO_ROOT / "scripts"), str(REPO_ROOT / "benchmarks")]
+    )
+    assert report.errors == []
+    assert report.violations == [], "\n".join(
+        v.format() for v in report.violations
+    )
+    assert report.checked_files > 30
+
+
+def test_parallel_lint_matches_serial():
+    target = str(REPO_ROOT / "src" / "repro" / "devtools")
+    serial = lint_paths([target])
+    parallel = lint_paths([target], jobs=2)
+    assert parallel.violations == serial.violations
+    assert parallel.errors == serial.errors
+    assert parallel.checked_files == serial.checked_files
+
+
+def test_rule_timings_are_collected():
+    report = lint_paths([str(REPO_ROOT / "src" / "repro" / "util")])
+    assert set(report.rule_timings) == {
+        r.code for r in all_rules()
+    }
+    assert all(t >= 0.0 for t in report.rule_timings.values())
+
+
 def test_every_rule_is_registered():
     rule_codes = [r.code for r in all_rules()]
     assert rule_codes == sorted(rule_codes)

@@ -1,0 +1,136 @@
+"""The reporter contract: JSON schema, exit codes, witness-path
+rendering for PUR rules, and the per-rule timing table."""
+
+import json
+
+from repro.devtools.registry import Violation
+from repro.devtools.report import render_json, render_text, render_timings
+from repro.devtools.runner import LintReport
+
+
+def _violation(**overrides):
+    fields = {
+        "path": "src/repro/mod.py",
+        "line": 7,
+        "col": 3,
+        "rule": "DET001",
+        "message": "unseeded randomness",
+    }
+    fields.update(overrides)
+    return Violation(**fields)
+
+
+class TestJsonSchema:
+    def test_payload_keys_and_types(self):
+        report = LintReport(
+            violations=[_violation()],
+            errors=[("bad.py", "syntax error at line 1: oops")],
+            checked_files=3,
+        )
+        payload = json.loads(render_json(report))
+        assert set(payload) == {
+            "checked_files", "violations", "errors", "exit_code",
+        }
+        assert payload["checked_files"] == 3
+        (violation,) = payload["violations"]
+        assert violation == {
+            "path": "src/repro/mod.py",
+            "line": 7,
+            "col": 3,
+            "rule": "DET001",
+            "message": "unseeded randomness",
+        }
+        (error,) = payload["errors"]
+        assert error == {
+            "path": "bad.py",
+            "message": "syntax error at line 1: oops",
+        }
+
+    def test_witness_serialises_as_list(self):
+        report = LintReport(
+            violations=[
+                _violation(
+                    rule="PUR001",
+                    witness=("a (f.py:1) calls b", "b (g.py:2): reads clock"),
+                )
+            ],
+            checked_files=1,
+        )
+        (violation,) = json.loads(render_json(report))["violations"]
+        assert violation["witness"] == [
+            "a (f.py:1) calls b",
+            "b (g.py:2): reads clock",
+        ]
+
+    def test_witness_key_absent_for_per_file_rules(self):
+        report = LintReport(violations=[_violation()], checked_files=1)
+        (violation,) = json.loads(render_json(report))["violations"]
+        assert "witness" not in violation
+
+    def test_rule_timings_included_when_collected(self):
+        report = LintReport(
+            checked_files=1, rule_timings={"DET001": 0.25, "COR001": 0.5}
+        )
+        payload = json.loads(render_json(report))
+        assert payload["rule_timings"] == {"DET001": 0.25, "COR001": 0.5}
+
+
+class TestExitCodeContract:
+    def test_clean_is_zero(self):
+        report = LintReport(checked_files=5)
+        assert report.exit_code == 0
+        assert json.loads(render_json(report))["exit_code"] == 0
+
+    def test_violations_are_one(self):
+        report = LintReport(violations=[_violation()], checked_files=5)
+        assert report.exit_code == 1
+
+    def test_errors_are_two_and_beat_violations(self):
+        report = LintReport(
+            violations=[_violation()],
+            errors=[("bad.py", "boom")],
+            checked_files=5,
+        )
+        assert report.exit_code == 2
+
+
+class TestTextRendering:
+    def test_first_line_is_grep_friendly(self):
+        line = _violation().format().splitlines()[0]
+        assert line == (
+            "src/repro/mod.py:7:3: DET001 unseeded randomness"
+        )
+
+    def test_witness_hops_render_indented(self):
+        violation = _violation(
+            rule="PUR001",
+            message="root reaches WALL_CLOCK",
+            witness=("a (f.py:1) calls b", "b (g.py:2): reads clock"),
+        )
+        report = LintReport(violations=[violation], checked_files=1)
+        text = render_text(report)
+        lines = text.splitlines()
+        assert lines[0].startswith("src/repro/mod.py:7:3: PUR001 ")
+        assert lines[1] == "    a (f.py:1) calls b"
+        assert lines[2] == "    b (g.py:2): reads clock"
+        assert "1 violation(s)" in text
+
+    def test_clean_report_says_so(self):
+        text = render_text(LintReport(checked_files=4))
+        assert "4 file(s) clean" in text
+
+
+class TestTimingTable:
+    def test_sorted_slowest_first_with_total(self):
+        report = LintReport(
+            rule_timings={"DET001": 0.1, "COR001": 0.3}
+        )
+        lines = render_timings(report).splitlines()
+        assert lines[0].startswith("rule")
+        assert lines[1].startswith("COR001")
+        assert lines[2].startswith("DET001")
+        assert lines[3].startswith("total")
+        assert "0.4000" in lines[3]
+
+    def test_empty_timings(self):
+        assert "no per-rule timing" in render_timings(LintReport())

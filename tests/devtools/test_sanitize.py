@@ -1,0 +1,187 @@
+"""The runtime sanitizer (``REPRO_SANITIZE=1``).
+
+Three properties are load-bearing:
+
+* the sanitizer is *observational* -- a sanitized run is bit-identical
+  to a plain one;
+* frozen arrays make an injected in-place write raise ``ValueError``
+  at the mutation site (instead of silently corrupting sibling cells);
+* per-stream draw counters are identical between ``jobs=1`` and
+  ``jobs=N``, proving no RNG stream leaks across cells or processes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ScenarioConfig
+from repro.devtools import sanitize
+from repro.devtools.sanitize import (
+    STREAM_DRAWS,
+    counting_generator,
+    freeze_array,
+    reset_streams,
+    stream_report,
+)
+from repro.netsim import ASGraph, AsNode, AsRole, Relationship
+from repro.scenario import diff_arrays, result_arrays
+from repro.scenario.engine import build_substrate, simulate
+from repro.sweep import SweepSpec, run_sweep
+from repro.util import Location
+
+
+@pytest.fixture
+def tiny_config():
+    return ScenarioConfig(
+        seed=7, n_stubs=50, n_vps=30, letters=("A", "K"), include_nl=False
+    )
+
+
+@pytest.fixture
+def sanitized(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    reset_streams()
+    yield
+    reset_streams()
+
+
+class TestCountingGenerator:
+    def test_draw_values_are_bit_identical(self):
+        wrapped = counting_generator(np.random.default_rng(123), "t")
+        bare = np.random.default_rng(123)
+        assert np.array_equal(wrapped.normal(size=16), bare.normal(size=16))
+        assert np.array_equal(
+            wrapped.integers(0, 100, size=16),
+            bare.integers(0, 100, size=16),
+        )
+        assert np.array_equal(
+            wrapped.permutation(10), bare.permutation(10)
+        )
+
+    def test_counts_calls_per_label(self):
+        reset_streams()
+        try:
+            generator = counting_generator(
+                np.random.default_rng(1), "atlas.vps"
+            )
+            generator.random()
+            generator.normal(size=1000)  # one call, whatever the size
+            generator.integers(0, 5)
+            assert STREAM_DRAWS == {"atlas.vps": 3}
+        finally:
+            reset_streams()
+
+    def test_non_draw_attributes_pass_through_uncounted(self):
+        reset_streams()
+        try:
+            base = np.random.default_rng(1)
+            generator = counting_generator(base, "t")
+            assert generator.bit_generator is base.bit_generator
+            assert STREAM_DRAWS == {}
+        finally:
+            reset_streams()
+
+    def test_stream_report_is_label_sorted(self):
+        reset_streams()
+        try:
+            counting_generator(np.random.default_rng(1), "zeta").random()
+            counting_generator(np.random.default_rng(2), "alpha").random()
+            assert list(stream_report()) == ["alpha", "zeta"]
+        finally:
+            reset_streams()
+
+
+class TestFreezing:
+    def test_freeze_array_is_noop_when_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        array = np.zeros(4)
+        freeze_array(array)
+        array[0] = 1.0  # still writable
+
+    def test_freeze_array_locks_when_enabled(self, sanitized):
+        array = np.zeros(4)
+        freeze_array(array)
+        with pytest.raises(ValueError):
+            array[0] = 1.0
+
+    def test_substrate_constants_are_frozen(self, sanitized, tiny_config):
+        substrate = build_substrate(tiny_config)
+        with pytest.raises(ValueError):
+            substrate.vps.lats[0] = 0.0
+        with pytest.raises(ValueError):
+            substrate.botnet.weights[0] = 0.5
+        deployment = substrate.deployments[tiny_config.letters[0]]
+        with pytest.raises(ValueError):
+            deployment.capacity_vector[0] = 1e9
+
+    def test_injected_write_to_compiled_graph_array_raises(self, sanitized):
+        # CompiledGraph CSR views are read-only by construction; the
+        # sanitizer's contract is that an injected in-place write dies
+        # at the site with ValueError rather than corrupting routing.
+        graph = ASGraph()
+        for asn in (1, 2, 3):
+            graph.add_as(
+                AsNode(asn=asn, location=Location(0.0, 0.0), role=AsRole.STUB)
+            )
+        graph.add_link(1, 2, Relationship.PROVIDER)
+        graph.add_link(2, 3, Relationship.PEER)
+        compiled = graph.compiled()
+        with pytest.raises(ValueError):
+            compiled.provider_indices[0] = 99
+        with pytest.raises(ValueError):
+            compiled.asn_of[0] = 99
+
+    def test_sanitized_simulate_is_bit_identical(
+        self, monkeypatch, tiny_config
+    ):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        plain = result_arrays(simulate(tiny_config))
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        reset_streams()
+        try:
+            checked = result_arrays(simulate(tiny_config))
+        finally:
+            reset_streams()
+        assert diff_arrays(plain, checked) == []
+
+
+class TestDrawParity:
+    """jobs=1 and jobs=2 must perform exactly the same per-cell draws."""
+
+    def _spec(self, tiny_config):
+        return SweepSpec.from_points(tiny_config, [{}], replicates=2)
+
+    def test_stream_draw_counters_match_across_jobs(
+        self, sanitized, tiny_config
+    ):
+        serial = run_sweep(self._spec(tiny_config), jobs=1)
+        parallel = run_sweep(self._spec(tiny_config), jobs=2)
+
+        serial_streams = {
+            name: count
+            for name, count in serial.routing_stats.items()
+            if name.startswith("sanitize/stream/")
+        }
+        parallel_streams = {
+            name: count
+            for name, count in parallel.routing_stats.items()
+            if name.startswith("sanitize/stream/")
+        }
+        assert serial_streams  # the counters actually flowed through
+        assert serial_streams == parallel_streams
+
+    def test_results_stay_bit_identical_under_sanitizer(
+        self, sanitized, tiny_config
+    ):
+        serial = run_sweep(self._spec(tiny_config), jobs=1)
+        parallel = run_sweep(self._spec(tiny_config), jobs=2)
+        for a, b in zip(serial.results, parallel.results):
+            assert not diff_arrays(result_arrays(a), result_arrays(b))
+
+
+def test_enabled_tracks_environment(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    assert sanitize.enabled() is False
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert sanitize.enabled() is True
+    monkeypatch.setenv("REPRO_SANITIZE", "0")
+    assert sanitize.enabled() is False
