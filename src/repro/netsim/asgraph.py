@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Mapping
 
 import numpy as np
 
@@ -99,6 +99,29 @@ _REL_CODES: dict[Relationship, int] = {
     Relationship.PEER: 2,
 }
 
+#: Every ndarray field of :class:`CompiledGraph`, in declaration
+#: order.  The shared-memory substrate layer (:mod:`repro.sweep.shm`)
+#: exports exactly these arrays and rebuilds the view from attached
+#: buffers via :meth:`CompiledGraph.from_arrays`; ``row_of`` is
+#: deliberately absent -- it is derived from ``asn_of``.
+_COMPILED_ARRAY_FIELDS = (
+    "asn_of",
+    "provider_indptr",
+    "provider_indices",
+    "peer_indptr",
+    "peer_indices",
+    "customer_indptr",
+    "customer_indices",
+    "all_indptr",
+    "all_indices",
+    "all_rel",
+    "customer_edge_fwd",
+    "provider_edge_fwd",
+    "peer_edge_fwd",
+    "_sorted_asns",
+    "_sorted_rows",
+)
+
 
 @dataclass(frozen=True, slots=True)
 class CompiledGraph:
@@ -148,6 +171,42 @@ class CompiledGraph:
     @property
     def n_nodes(self) -> int:
         return int(self.asn_of.size)
+
+    @classmethod
+    def array_fields(cls) -> tuple[str, ...]:
+        """Names of every ndarray field, in declaration order."""
+        return _COMPILED_ARRAY_FIELDS
+
+    @classmethod
+    def from_arrays(
+        cls, version: int, arrays: Mapping[str, np.ndarray]
+    ) -> "CompiledGraph":
+        """Rebuild a compiled view from its named arrays.
+
+        The from-buffer constructor of the zero-copy sweep path: the
+        arrays typically live in a ``multiprocessing.shared_memory``
+        segment created by another process.  ``row_of`` is derived
+        from ``asn_of`` (rows are insertion order by construction), so
+        the only non-array state a caller must supply is *version*.
+        Arrays that are not already read-only are frozen, preserving
+        the invariant that compiled views are immutable.
+        """
+        missing = [
+            name for name in _COMPILED_ARRAY_FIELDS if name not in arrays
+        ]
+        if missing:
+            raise ValueError(
+                f"CompiledGraph.from_arrays missing arrays: {missing}"
+            )
+        asn_of = arrays["asn_of"]
+        row_of = {int(asn): row for row, asn in enumerate(asn_of)}
+        fields: dict[str, np.ndarray] = {}
+        for name in _COMPILED_ARRAY_FIELDS:
+            array = arrays[name]
+            if array.flags.writeable:
+                array = _frozen(array)
+            fields[name] = array
+        return cls(version=version, row_of=row_of, **fields)
 
     def rows_of(self, asns: Iterable[int] | np.ndarray) -> np.ndarray:
         """Vectorized ASN -> row lookup; ``-1`` for unknown ASNs."""
@@ -262,6 +321,18 @@ class ASGraph:
             ) * scale
             self._distance_cache[cache_key] = row
         return row
+
+    def distance_memo(self) -> dict[int, np.ndarray]:
+        """The per-origin distance rows memoized for the *current*
+        structure version, keyed by origin cache key (ASN).
+
+        Rows from stale versions are excluded (they would be dropped
+        by the next :meth:`distance_row` call anyway).  Used by the
+        zero-copy sweep layer to ship warm tie-break memos to workers.
+        """
+        if self._distance_version != self._version:
+            return {}
+        return dict(self._distance_cache)
 
     def compiled(self) -> CompiledGraph:
         """The immutable CSR view of the current structure (cached).

@@ -822,6 +822,23 @@ class _Propagation:
         )
 
 
+def compiled_graph_from_buffers(
+    version: int, arrays: Mapping[str, np.ndarray]
+) -> CompiledGraph:
+    """Rebuild a :class:`CompiledGraph` from named array buffers.
+
+    The from-buffer constructor used by the zero-copy sweep substrate
+    layer (:mod:`repro.sweep.shm`): *arrays* are typically read-only
+    views over a ``multiprocessing.shared_memory`` segment exported by
+    the sweep parent, one entry per
+    :meth:`CompiledGraph.array_fields` name.  ``row_of`` is derived
+    from ``asn_of``; the result is indistinguishable from the view
+    :meth:`ASGraph.compiled` would build for the same structure
+    version, so every kernel in this module runs on it unchanged.
+    """
+    return CompiledGraph.from_arrays(version, arrays)
+
+
 def propagate(graph: ASGraph, origins: list[Origin]) -> RoutingTable:
     """Compute best routes at every AS for one anycast prefix.
 

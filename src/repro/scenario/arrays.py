@@ -15,7 +15,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 if TYPE_CHECKING:
-    from .engine import ScenarioResult
+    from .engine import ScenarioResult, Substrate
 
 
 def result_arrays(result: ScenarioResult) -> dict[str, np.ndarray]:
@@ -71,6 +71,24 @@ def result_arrays(result: ScenarioResult) -> dict[str, np.ndarray]:
     return out
 
 
+def substrate_arrays(substrate: Substrate) -> dict[str, np.ndarray]:
+    """Flatten a substrate's shared-constant half into named arrays.
+
+    The other side of the serialization split: where
+    :func:`result_arrays` canonicalizes what a run *produced*,
+    this canonicalizes what every cell sharing a substrate signature
+    *consumes* -- the arrays
+    :func:`~repro.scenario.engine.substrate_constant_arrays`
+    enumerates and the zero-copy sweep layer (:mod:`repro.sweep.shm`)
+    ships through shared memory.  Round-trip checks compare exported
+    and reattached substrates through :func:`diff_arrays`, exactly
+    like results.
+    """
+    from .engine import substrate_constant_arrays
+
+    return dict(substrate_constant_arrays(substrate))
+
+
 def diff_arrays(
     a: dict[str, np.ndarray], b: dict[str, np.ndarray]
 ) -> list[str]:
@@ -82,11 +100,14 @@ def diff_arrays(
             mismatches.append(name)
             continue
         want, got = np.asarray(a[name]), np.asarray(b[name])
-        if (
-            want.shape != got.shape
-            or want.dtype != got.dtype
-            or not np.array_equal(want, got, equal_nan=True)
-        ):
+        if want.shape != got.shape or want.dtype != got.dtype:
+            mismatches.append(name)
+            continue
+        # equal_nan only applies to float/complex dtypes; asking for
+        # it on string arrays (substrate constants carry unicode ids)
+        # is a TypeError.
+        equal_nan = want.dtype.kind in "fc"
+        if not np.array_equal(want, got, equal_nan=equal_nan):
             mismatches.append(name)
     mismatches.extend(sorted(set(b) - set(a)))
     return mismatches

@@ -61,8 +61,14 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
+from ..util.env import SWEEP_SHM, env_flag
 from .aggregate import CellSummary, summarize
 from .checkpoint import CheckpointWriter, load_checkpoint, resume_command
+from .shm import (
+    SharedSubstrate,
+    SubstrateManifest,
+    export_shared_substrates,
+)
 from .progress import (
     CELL_DONE,
     CELL_FAILED,
@@ -144,6 +150,13 @@ class SweepResult:
     #: Cell indices restored from the checkpoint instead of re-run.
     restored: tuple[int, ...] = ()
     checkpoint_path: str | None = None
+    #: Shared-memory segments exported for this run (0 when the layer
+    #: is disabled, the run was serial, or no signature was shared by
+    #: enough cells to be worth exporting).
+    shm_segments: int = 0
+    #: Peak RSS per worker pid (KiB), as reported by the last outcome
+    #: each worker returned.  Telemetry only.
+    worker_rss_kb: dict[int, int] = field(default_factory=dict)
 
     def result_of(self, index: int) -> "ScenarioResult":
         result = self.results[index]
@@ -207,6 +220,10 @@ class _Supervisor:
     completed: int = 0
     #: Signal name once a graceful stop was requested.
     stop_signal: str | None = None
+    #: Shared-memory segments exported for the pool path.
+    shm_segments: int = 0
+    #: Peak RSS per worker pid (KiB); a high-water mark, so max-merged.
+    worker_rss: dict[int, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.slots:
@@ -309,6 +326,11 @@ class _Supervisor:
 
     def handle_outcomes(self, outcomes: Sequence[CellOutcome]) -> None:
         for outcome in outcomes:
+            if outcome.peak_rss_kb > 0:
+                pid = outcome.worker_pid
+                self.worker_rss[pid] = max(
+                    self.worker_rss.get(pid, 0), outcome.peak_rss_kb
+                )
             if outcome.error is None:
                 self.store(outcome)
             else:
@@ -371,6 +393,20 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
         process.join(timeout=5.0)
         if process.is_alive():
             process.kill()
+    # A worker killed mid-result-write leaves a truncated message in
+    # the result pipe, and the executor's manager thread would block
+    # in ``recv()`` forever -- the parent's own writer fd keeps the
+    # pipe from ever hitting EOF.  Closing that fd turns the truncated
+    # message into an EOF, the manager marks the pool broken and
+    # exits, and interpreter shutdown (which joins manager threads)
+    # cannot hang.
+    queue = getattr(pool, "_result_queue", None)
+    writer = getattr(queue, "_writer", None)
+    if writer is not None:
+        try:
+            writer.close()
+        except OSError:
+            pass
     pool.shutdown(wait=False, cancel_futures=True)
 
 
@@ -382,6 +418,7 @@ def _run_pool(
     cell_timeout_s: float | None,
     backoff_base_s: float,
     checkpoint_path: str | None,
+    shm_enabled: bool,
 ) -> None:
     context = multiprocessing.get_context(
         start_method or default_start_method()
@@ -395,7 +432,20 @@ def _run_pool(
             initializer=init_worker,
         )
 
+    # Shared-substrate export happens once, before any dispatch: the
+    # parent owns every segment for the whole pool lifetime (respawns
+    # included) and unlinks them in the ``finally`` below -- the one
+    # cleanup covering normal completion, graceful drain, worker
+    # death, and quarantine exits alike.
+    shared: list[SharedSubstrate] = []
+    manifests: dict[tuple[object, ...], SubstrateManifest] = {}
     try:
+        if shm_enabled:
+            shared, manifests = export_shared_substrates(
+                sup.incomplete(),
+                should_stop=lambda: sup.stop_signal is not None,
+            )
+            sup.shm_segments = len(shared)
         round_index = 0
         while True:
             todo = sup.incomplete()
@@ -426,9 +476,11 @@ def _run_pool(
                     if cell_timeout_s is not None
                     else None
                 )
-                futures[pool.submit(run_cells, chunk, attempts)] = _Task(
-                    cells=chunk, deadline=deadline
-                )
+                futures[
+                    pool.submit(
+                        run_cells, chunk, attempts, manifests or None
+                    )
+                ] = _Task(cells=chunk, deadline=deadline)
             pool_broken = False
             while futures and not pool_broken:
                 if sup.stop_signal:
@@ -485,8 +537,15 @@ def _run_pool(
                 pool = None
             round_index += 1
     finally:
+        # Workers must be gone (or at least past submission) before
+        # the segments are unlinked; unlinking a still-mapped segment
+        # is safe (the kernel keeps the memory until the last map
+        # drops), and a worker whose attach races the unlink falls
+        # back to a local build.
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
+        for handle in shared:
+            handle.close()
 
 
 def run_sweep(
@@ -500,6 +559,7 @@ def run_sweep(
     max_retries: int = 2,
     cell_timeout_s: float | None = None,
     backoff_base_s: float = 0.5,
+    shm: bool | None = None,
 ) -> SweepResult:
     """Run every cell of *spec* and fold replicates into summaries.
 
@@ -508,6 +568,14 @@ def run_sweep(
     death/timeout detection, and retry with deterministic exponential
     backoff.  Outputs are bit-identical across ``jobs`` values, across
     retries, and across checkpoint resumes.
+
+    On the pool path, substrates whose signature is shared by two or
+    more cells are built once in the parent and exported to
+    shared-memory segments that workers attach zero-copy
+    (:mod:`repro.sweep.shm`); *shm* forces the layer on/off, and the
+    default defers to ``REPRO_SWEEP_SHM`` (on unless set to ``0``).
+    The layer is transport-only -- outputs are bit-identical with it
+    on, off, or falling back mid-run.
 
     With *checkpoint*, completed cells are persisted to an append-only
     log as they finish; if the file already exists (and matches the
@@ -585,9 +653,15 @@ def run_sweep(
             if jobs == 1:
                 _run_serial(sup, chunk_size, backoff_base_s)
             else:
+                shm_enabled = (
+                    env_flag(SWEEP_SHM, default=True)
+                    if shm is None
+                    else shm
+                )
                 _run_pool(
                     sup, jobs, chunk_size, start_method,
                     cell_timeout_s, backoff_base_s, checkpoint_path,
+                    shm_enabled,
                 )
         except KeyboardInterrupt:
             sup.stop_signal = sup.stop_signal or "SIGINT"
@@ -632,6 +706,8 @@ def run_sweep(
         routing_stats=dict(sup.routing_stats),
         restored=tuple(sorted(restored_results)),
         checkpoint_path=checkpoint_path,
+        shm_segments=sup.shm_segments,
+        worker_rss_kb=dict(sup.worker_rss),
     )
 
 

@@ -37,8 +37,10 @@ from __future__ import annotations
 
 import os
 import pickle
+import resource
 import signal
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 from ..devtools import sanitize
@@ -47,6 +49,7 @@ from ..netsim.anycast import PREFIX_CACHE_STATS
 from ..scenario.engine import Substrate, build_substrate, simulate
 from ..scenario.engine import substrate_signature
 from .chaos import maybe_inject
+from .shm import SHM_STATS, SubstrateManifest, attach_substrate
 
 if TYPE_CHECKING:
     from ..scenario.engine import ScenarioResult
@@ -57,6 +60,18 @@ if TYPE_CHECKING:
 #: signatures are worth keeping.
 _SUBSTRATE_CACHE: dict[tuple[object, ...], Substrate] = {}
 _CACHE_MAX = 4
+
+#: Per-process attached-segment cache; manifest digest -> (segment,
+#: substrate view).  Same FIFO bound as the build cache.  Eviction
+#: only drops the references -- it must NOT ``close()`` the segment,
+#: because live numpy views over its buffer would raise
+#: ``BufferError``; the mapping goes away when the views do, and the
+#: parent owns the unlink.
+_SHM_CACHE: dict[str, tuple[shared_memory.SharedMemory, Substrate]] = {}
+
+#: signature -> manifest routing table for the current task, installed
+#: by :func:`run_cells` for the duration of one task.
+_MANIFESTS: dict[tuple[object, ...], SubstrateManifest] = {}
 
 #: True inside a process-pool worker (set by :func:`init_worker`);
 #: gates chaos actions that must never take down the parent.
@@ -78,6 +93,10 @@ class CellOutcome:
     error: str | None
     worker_pid: int
     routing_stats: dict[str, int]
+    #: This worker's peak RSS (``ru_maxrss``, KiB on Linux) observed
+    #: right after the cell ran -- a high-water mark, not a per-cell
+    #: delta, so the parent takes a max per pid, not a sum.
+    peak_rss_kb: int = field(default=0)
 
 
 def init_worker() -> None:
@@ -97,10 +116,41 @@ def init_worker() -> None:
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     _SUBSTRATE_CACHE.clear()
+    _SHM_CACHE.clear()
+    _MANIFESTS.clear()
+
+
+def _shared_substrate_for(manifest: SubstrateManifest) -> Substrate:
+    """Substrate view for *manifest*, attached at most once per
+    process (keyed by content digest, so a pool respawn or segment
+    re-export of identical content still hits the cache)."""
+    cached = _SHM_CACHE.get(manifest.digest)
+    if cached is not None:
+        return cached[1]
+    shm, substrate = attach_substrate(manifest)
+    SHM_STATS["attach"] += 1
+    while len(_SHM_CACHE) >= _CACHE_MAX:
+        _SHM_CACHE.pop(next(iter(_SHM_CACHE)))
+    _SHM_CACHE[manifest.digest] = (shm, substrate)
+    return substrate
 
 
 def _substrate_for(cell: SweepCell) -> Substrate:
     signature = substrate_signature(cell.config)
+    manifest = _MANIFESTS.get(signature)
+    if manifest is not None:
+        try:
+            substrate = _shared_substrate_for(manifest)
+        except Exception:
+            # Shared memory is a transport optimization, never a
+            # correctness dependency: any attach failure (segment gone,
+            # mapping refused, skeleton drift) falls back to the local
+            # build below, which is bit-identical by the
+            # substrate-reuse contract.
+            SHM_STATS["fallback"] += 1
+        else:
+            SHM_STATS["cell"] += 1
+            return substrate
     substrate = _SUBSTRATE_CACHE.get(signature)
     if substrate is None:
         substrate = build_substrate(cell.config)
@@ -115,6 +165,7 @@ def _stats_snapshot() -> dict[str, int]:
     snapshot.update(
         {f"prefix_cache/{k}": v for k, v in PREFIX_CACHE_STATS.items()}
     )
+    snapshot.update({f"shm/{k}": v for k, v in SHM_STATS.items()})
     return snapshot
 
 
@@ -144,6 +195,7 @@ def _run_cell(cell: SweepCell, attempt: int) -> CellOutcome:
             error=f"{type(exc).__name__}: {exc}",
             worker_pid=pid,
             routing_stats={},
+            peak_rss_kb=_peak_rss_kb(),
         )
     after = _stats_snapshot()
     stats = {
@@ -164,23 +216,57 @@ def _run_cell(cell: SweepCell, attempt: int) -> CellOutcome:
         error=None,
         worker_pid=pid,
         routing_stats=stats,
+        peak_rss_kb=_peak_rss_kb(),
     )
 
 
+def _install_manifests(
+    manifests: Mapping[tuple[object, ...], SubstrateManifest] | None,
+) -> None:
+    """Install (or clear, with ``None``) the signature -> manifest
+    routing table for the current task."""
+    _MANIFESTS.clear()
+    if manifests:
+        _MANIFESTS.update(manifests)
+
+
+def _peak_rss_kb() -> int:
+    """This process's lifetime peak RSS in KiB (``ru_maxrss`` is
+    already KiB on Linux, bytes on macOS -- normalised here)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if os.uname().sysname == "Darwin":
+        peak //= 1024
+    return int(peak)
+
+
 def run_cells(
-    cells: tuple[SweepCell, ...], attempts: Mapping[int, int]
+    cells: tuple[SweepCell, ...],
+    attempts: Mapping[int, int],
+    manifests: Mapping[tuple[object, ...], SubstrateManifest] | None = None,
 ) -> list[CellOutcome]:
     """Simulate one task's cells; one outcome per cell, index order.
 
     *attempts* maps cell index to the 0-based attempt number the
-    runner is on, which the chaos hook keys off.  A failing cell does
-    not stop the rest of the task -- its outcome carries the error.
+    runner is on, which the chaos hook keys off.  *manifests* (when
+    the shared-memory layer is on) maps substrate signatures to
+    shared-segment manifests; cells whose signature appears there are
+    served from a zero-copy attached substrate instead of a local
+    build.  A failing cell does not stop the rest of the task -- its
+    outcome carries the error.
     """
-    return [_run_cell(cell, attempts.get(cell.index, 0)) for cell in cells]
+    _install_manifests(manifests)
+    try:
+        return [
+            _run_cell(cell, attempts.get(cell.index, 0)) for cell in cells
+        ]
+    finally:
+        _install_manifests(None)
 
 
 def run_cells_serial(
-    cells: Sequence[SweepCell], attempts: Mapping[int, int]
+    cells: Sequence[SweepCell],
+    attempts: Mapping[int, int],
+    manifests: Mapping[tuple[object, ...], SubstrateManifest] | None = None,
 ) -> list[CellOutcome]:
     """Inline execution mirroring the process boundary.
 
@@ -188,4 +274,6 @@ def run_cells_serial(
     pool worker would receive them, so the serial path sees the same
     fresh config copies as the parallel one.
     """
-    return run_cells(pickle.loads(pickle.dumps(tuple(cells))), attempts)
+    return run_cells(
+        pickle.loads(pickle.dumps(tuple(cells))), attempts, manifests
+    )

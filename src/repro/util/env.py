@@ -4,8 +4,9 @@ Determinism contract: a simulated quantity must never depend on the
 host environment, but a handful of *operational* toggles legitimately
 live there -- the incremental-routing escape hatch
 (``REPRO_BGP_DELTA``), the test-only sweep chaos hook
-(``REPRO_SWEEP_CHAOS``), and the runtime sanitizer
-(``REPRO_SANITIZE``).  Every one of those reads goes through
+(``REPRO_SWEEP_CHAOS``), the runtime sanitizer
+(``REPRO_SANITIZE``), and the zero-copy sweep-substrate toggle
+(``REPRO_SWEEP_SHM``).  Every one of those reads goes through
 :func:`read_env` so the interprocedural purity analyzer
 (:mod:`repro.devtools.purity`) has exactly one allowlisted ENV_READ
 source to reason about; an ``os.environ`` read anywhere else in the
@@ -25,6 +26,9 @@ import os
 BGP_DELTA = "REPRO_BGP_DELTA"
 SWEEP_CHAOS = "REPRO_SWEEP_CHAOS"
 SANITIZE = "REPRO_SANITIZE"
+#: Zero-copy shared-memory substrates for parallel sweeps; set to
+#: ``"0"`` to force the legacy per-worker rebuild (pickled) path.
+SWEEP_SHM = "REPRO_SWEEP_SHM"
 
 
 def read_env(name: str, default: str = "") -> str:

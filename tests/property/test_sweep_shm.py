@@ -1,0 +1,102 @@
+"""Cross-process determinism: jobs=1, pickled, and shared-memory
+dispatch are bit-identical over random sweep grids.
+
+The sweep engine's core promise is that *how* cells are dispatched --
+inline, to workers via pickled configs, or to workers attaching
+zero-copy shared-memory substrates -- cannot change a single bit of
+any result array.  Hypothesis draws small grids (runtime knobs only,
+so cells share a substrate signature and the shm layer actually
+engages) and checks all three paths against each other, with a second
+property doing the same under the runtime determinism sanitizer
+(``REPRO_SANITIZE=1``), whose freeze/counter machinery must not
+interact with read-only shared views.
+
+Example counts are tiny: each example runs three sweeps (two of them
+spawning pools), so this is seconds per example -- the property
+guards an invariant, it is not a fuzzer.
+"""
+
+import os
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenario import diff_arrays, result_arrays
+from repro.scenario.config import ScenarioConfig
+from repro.sweep import SweepSpec, leaked_segments, run_sweep
+from repro.util import env
+
+_BASE = ScenarioConfig(
+    seed=11,
+    n_stubs=40,
+    n_vps=24,
+    letters=("A", "K"),
+    include_nl=False,
+)
+
+#: Runtime-knob axes only: every cell keeps the base substrate
+#: signature, so the parent exports exactly one shared segment.
+_grids = st.fixed_dictionaries(
+    {},
+    optional={
+        "baseline_days": st.lists(
+            st.sampled_from([2, 3, 5, 7]),
+            min_size=1,
+            max_size=2,
+            unique=True,
+        ),
+        "bin_seconds": st.lists(
+            st.sampled_from([600, 1200]),
+            min_size=1,
+            max_size=2,
+            unique=True,
+        ),
+    },
+).filter(lambda axes: sum(len(v) for v in axes.values()) >= 2)
+
+
+def _assert_three_way_identical(axes):
+    spec = SweepSpec.grid(_BASE, axes)
+    serial = run_sweep(spec, jobs=1)
+    pickled = run_sweep(spec, jobs=2, shm=False)
+    shared = run_sweep(spec, jobs=2, shm=True)
+    assert not serial.failures
+    assert not pickled.failures and not shared.failures
+    assert pickled.shm_segments == 0
+    if spec.n_cells >= 2:
+        assert shared.shm_segments == 1
+        assert (
+            shared.routing_stats.get("shm/cell", 0) == spec.n_cells
+        )
+    for index in range(spec.n_cells):
+        want = result_arrays(serial.results[index])
+        assert not diff_arrays(
+            result_arrays(pickled.results[index]), want
+        )
+        assert not diff_arrays(
+            result_arrays(shared.results[index]), want
+        )
+    assert leaked_segments() == []
+
+
+@settings(max_examples=3)
+@given(axes=_grids)
+def test_dispatch_paths_bit_identical(axes):
+    _assert_three_way_identical(axes)
+
+
+@settings(max_examples=2)
+@given(axes=_grids)
+def test_dispatch_paths_bit_identical_under_sanitizer(axes):
+    # Manual save/restore instead of monkeypatch: hypothesis reuses
+    # one test invocation for every example, so a function-scoped
+    # fixture would not reset between draws anyway.
+    previous = os.environ.get(env.SANITIZE)
+    os.environ[env.SANITIZE] = "1"
+    try:
+        _assert_three_way_identical(axes)
+    finally:
+        if previous is None:
+            del os.environ[env.SANITIZE]
+        else:
+            os.environ[env.SANITIZE] = previous
