@@ -68,6 +68,14 @@ from repro.scenario import diff_arrays, result_arrays
 from repro.util.rng import component_rng
 from repro.util.timegrid import EVENT_WINDOW_START as W
 
+# The host-metadata block is shared with every other BENCH_* writer;
+# it lives in scripts/bench_report.py, outside the package tree.
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "scripts"),
+)
+from bench_report import host_metadata  # noqa: E402
+
 #: The churned letter: K has the most global sites, so withdrawals
 #: reshuffle the largest catchments.
 LETTER = "K"
@@ -435,12 +443,7 @@ def main(argv: list[str] | None = None) -> int:
         .strftime("%Y-%m-%dT%H:%M:%SZ"),
         "python": platform.python_version(),
         "machine": platform.machine(),
-        "host": {
-            "cpu_count": os.cpu_count(),
-            "usable_cpus": len(os.sched_getaffinity(0))
-            if hasattr(os, "sched_getaffinity")
-            else os.cpu_count(),
-        },
+        "host": host_metadata(),
         "note": (
             "churn = N distinct announcement states propagated "
             "back-to-back (reference vs array kernel vs LRU cache "

@@ -35,6 +35,14 @@ from repro import ScenarioConfig
 from repro.scenario import diff_arrays, result_arrays
 from repro.sweep import SweepSpec, leaked_segments, run_sweep
 
+# The host-metadata block is shared with every other BENCH_* writer;
+# it lives in scripts/bench_report.py, outside the package tree.
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "scripts"),
+)
+from bench_report import host_metadata  # noqa: E402
+
 #: The bench grid: one mid-size substrate signature swept over a
 #: runtime knob, so every parallel worker either rebuilds it (pickled
 #: path) or attaches the parent's one export (shared path).
@@ -75,11 +83,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     job_counts = [int(part) for part in args.jobs.split(",")]
     spec = bench_spec(args.cells)
-    usable_cpus = (
-        len(os.sched_getaffinity(0))
-        if hasattr(os, "sched_getaffinity")
-        else os.cpu_count() or 1
-    )
+    host = host_metadata()
+    usable_cpus = host["usable_cpus"]
 
     serial_arrays: list[dict] | None = None
     serial_wall: float | None = None
@@ -146,10 +151,7 @@ def main(argv: list[str] | None = None) -> int:
         .strftime("%Y-%m-%dT%H:%M:%SZ"),
         "python": platform.python_version(),
         "machine": platform.machine(),
-        "host": {
-            "cpu_count": os.cpu_count(),
-            "usable_cpus": usable_cpus,
-        },
+        "host": host,
         "grid": {**BENCH_BASE, "cells": spec.n_cells,
                  "axis": "baseline_days"},
         "note": (

@@ -95,6 +95,15 @@ class _EpochGathers:
     balanced: np.ndarray       # hash-balanced server per routed VP
     base_rtt: np.ndarray       # baseline RTT per routed VP
     any_probed: bool
+    #: ``sites``/``balanced`` pre-cast to the output dtype: the final
+    #: store of a bin with no failure and no timeout writes exactly
+    #: these values, so the per-bin casts are hoisted here.
+    sites_i16: np.ndarray
+    balanced_i16: np.ndarray
+    #: ``_cond_delay[:, sites]`` gathered once; row ``b`` equals the
+    #: per-bin fancy gather ``_cond_delay[b][sites]`` element for
+    #: element, replacing it with a contiguous row view.
+    delay_sub: np.ndarray
 
 
 class LetterProber:
@@ -202,13 +211,9 @@ class LetterProber:
         if cached is not None:
             return cached
         code_to_idx = {c: i for i, c in enumerate(self.site_codes)}
-        asn_site: dict[int, int] = {}
-        for asn in np.unique(self.vps.asns):
-            site = table.site_of(int(asn))
-            asn_site[int(asn)] = code_to_idx[site] if site else -1
-        result = np.array(
-            [asn_site[int(a)] for a in self.vps.asns], dtype=np.int64
-        )
+        uniq, inverse = np.unique(self.vps.asns, return_inverse=True)
+        uniq_sites = table.sites_of(uniq.astype(np.int64), code_to_idx)
+        result = uniq_sites.astype(np.int64)[inverse]
         self._catchment_cache[table.version] = result
         return result
 
@@ -237,6 +242,35 @@ class LetterProber:
         ]
         self._recorded[bin_index] = True
 
+    def record_bins(
+        self,
+        start: int,
+        table: RoutingTable,
+        loss: np.ndarray,
+        delay_ms: np.ndarray,
+        overloaded: np.ndarray,
+    ) -> None:
+        """Batched :meth:`record_bin` over one contiguous segment.
+
+        All bins of the segment share one routing table and one
+        shed-server snapshot (the engine only batches across bins with
+        no policy action, so the per-site states cannot change inside
+        the run); the condition matrices are ``(n_bins_seg, n_sites)``.
+        """
+        if self._flushed:
+            raise RuntimeError("prober already finished")
+        stop = start + loss.shape[0]
+        self._tables.setdefault(table.version, table)
+        self._version_of_bin[start:stop] = table.version
+        self._cond_loss[start:stop] = loss
+        self._cond_delay[start:stop] = delay_ms
+        self._cond_over[start:stop] = overloaded
+        states = self.deployment.states
+        self._shed_of_bin[start:stop] = [
+            states[c].shed_server for c in self.site_codes
+        ]
+        self._recorded[start:stop] = True
+
     def _epoch_gathers(self, version: int, phase: int) -> _EpochGathers:
         """Catchment/cadence gathers for one (routing epoch, phase)."""
         key = (version, phase)
@@ -252,121 +286,319 @@ class LetterProber:
         routed = active & (vp_site >= 0)
         routed_idx = np.flatnonzero(routed)
         sites = vp_site[routed_idx]
+        balanced = self.vp_hashes[routed_idx] % self.n_servers[sites] + 1
         gathers = _EpochGathers(
             hijacked_idx=np.flatnonzero(hijacked),
             unrouted_idx=np.flatnonzero(active & (vp_site < 0)),
             routed_idx=routed_idx,
             sites=sites,
-            balanced=self.vp_hashes[routed_idx] % self.n_servers[sites] + 1,
+            balanced=balanced,
             base_rtt=self.base_rtt[routed_idx, sites],
             any_probed=bool(probed.any()),
+            sites_i16=sites.astype(np.int16),
+            balanced_i16=balanced.astype(np.int16),
+            delay_sub=self._cond_delay[:, sites],
         )
         self._gather_cache[key] = gathers
         return gathers
 
-    def _sample_recorded_bin(self, b: int) -> None:
+    def _sample_recorded_bin(
+        self,
+        b: int,
+        quiet: bool,
+        baseline_bin_fail: np.floating,
+        g: _EpochGathers,
+        d: list,
+    ) -> None:
         """Sample one recorded bin (batched path).
 
         Matches the original immediate-mode sampling draw for draw:
         the RNG call sequence and sizes are identical, so outputs are
-        bit-identical.
+        bit-identical.  *quiet* marks bins with zero loss and no
+        overloaded site everywhere; for those the shed/multiplier/
+        clip/power pipeline provably reduces to the precomputed
+        *baseline_bin_fail* constant (``loss * 1.0 == loss``,
+        ``delay * 1.0 == delay``, ``clip(0 + p, 0, 1) == p``), so it
+        is skipped without changing a single drawn bit.
+
+        Output stores whose values are gather constants (hijacked /
+        unrouted markers, clean-bin site and server columns) or pure
+        draw results are *deferred* into per-gather lists and written
+        in one fancy-indexed store each by :meth:`_scatter_deferred`;
+        all deferred regions are row/column-disjoint from the
+        immediate stores, so the final matrices are identical.
         """
-        g = self._epoch_gathers(
-            int(self._version_of_bin[b]), b % self.bins_per_probe
-        )
         if not g.any_probed:
             return
         rng = self.rng
-        out_site = self.site_idx[b]
-        out_rtt = self.rtt_ms[b]
-        out_server = self.server[b]
 
-        # Hijacked VPs: local bogus answer, fast, always "up".
-        out_site[g.hijacked_idx] = RESP_BOGUS
-        out_rtt[g.hijacked_idx] = HIJACK_RTT_MS * (
-            1.0
-            + rng.normal(0.0, 0.1, g.hijacked_idx.size).clip(-0.3, 0.3)
-        )
+        # Hijacked VPs: local bogus answer, fast, always "up".  A
+        # zero-size draw consumes no RNG state, so the empty case is
+        # skipped outright.
+        if g.hijacked_idx.size:
+            d[0].append(b)
+            d[1].append(
+                HIJACK_RTT_MS
+                * (
+                    1.0
+                    + rng.normal(
+                        0.0, 0.1, g.hijacked_idx.size
+                    ).clip(-0.3, 0.3)
+                )
+            )
 
         # Unrouted VPs: no path to any site -> timeout.
-        out_site[g.unrouted_idx] = RESP_TIMEOUT
+        if g.unrouted_idx.size:
+            d[2].append(b)
 
         if g.routed_idx.size == 0:
             return
         sites = g.sites
-        over = self._cond_over[b]
-        shed_mask = over[sites] & self._shed_flags[sites]
-        if shed_mask.any():
-            shed = self._shed_of_bin[b]
-            shed_sites = np.unique(sites[shed_mask])
-            bad = (shed[shed_sites] < 1) | (
-                shed[shed_sites] > self.n_servers[shed_sites]
-            )
-            if bad.any():
-                i = int(shed_sites[np.flatnonzero(bad)[0]])
-                raise ValueError(
-                    f"shed server {int(shed[i])} out of range"
-                    f" 1..{int(self.n_servers[i])}"
-                )
-            chosen = np.where(shed_mask, shed[sites], g.balanced)
-        else:
+        if quiet:
             chosen = g.balanced
+            delay = g.delay_sub[b]
+            bin_fail_prob: np.ndarray | np.floating = baseline_bin_fail
+        else:
+            over = self._cond_over[b]
+            shed_mask = over[sites] & self._shed_flags[sites]
+            if shed_mask.any():
+                shed = self._shed_of_bin[b]
+                shed_sites = np.unique(sites[shed_mask])
+                bad = (shed[shed_sites] < 1) | (
+                    shed[shed_sites] > self.n_servers[shed_sites]
+                )
+                if bad.any():
+                    i = int(shed_sites[np.flatnonzero(bad)[0]])
+                    raise ValueError(
+                        f"shed server {int(shed[i])} out of range"
+                        f" 1..{int(self.n_servers[i])}"
+                    )
+                chosen = np.where(shed_mask, shed[sites], g.balanced)
+            else:
+                chosen = g.balanced
 
-        # Server-behaviour multipliers: table lookup instead of a
-        # per-unique-site python loop.
-        over_r = over[sites]
-        loss = self._cond_loss[b][sites]
-        delay = self._cond_delay[b][sites]
-        loss = np.clip(
-            loss * np.where(
-                over_r, self._over_loss[sites, chosen - 1], 1.0
-            ),
-            0.0,
-            1.0,
-        )
-        delay = delay * np.where(
-            over_r, self._over_delay[sites, chosen - 1], 1.0
-        )
+            # Server-behaviour multipliers: table lookup instead of a
+            # per-unique-site python loop.
+            over_r = over[sites]
+            loss = self._cond_loss[b][sites]
+            delay = g.delay_sub[b]
+            loss = np.clip(
+                loss * np.where(
+                    over_r, self._over_loss[sites, chosen - 1], 1.0
+                ),
+                0.0,
+                1.0,
+            )
+            delay = delay * np.where(
+                over_r, self._over_delay[sites, chosen - 1], 1.0
+            )
 
-        fail_prob = np.clip(
-            loss + BASELINE_FAILURE_PROB, 0.0, 1.0
-        )
-        # A bin fails only when every probe in it fails.
-        bin_fail_prob = fail_prob**self.probes_per_bin
+            fail_prob = np.clip(
+                loss + BASELINE_FAILURE_PROB, 0.0, 1.0
+            )
+            # A bin fails only when every probe in it fails.
+            bin_fail_prob = fail_prob**self.probes_per_bin
         failed = rng.random(sites.size) < bin_fail_prob
         jitter = np.exp(
             rng.normal(0.0, RTT_JITTER_SIGMA, sites.size)
         )
         rtts = g.base_rtt * jitter + delay
-        timed_out = rtts > ATLAS_TIMEOUT_MS
 
-        site_result = sites.astype(np.int16)
-        site_result[failed] = np.where(
-            rng.random(int(failed.sum())) < ERROR_GIVEN_FAILURE,
-            RESP_ERROR,
-            RESP_TIMEOUT,
-        ).astype(np.int16)
+        n_failed = int(np.count_nonzero(failed))
+        if (
+            n_failed == 0
+            and chosen is g.balanced
+            and float(rtts.max()) <= ATLAS_TIMEOUT_MS
+        ):
+            # Nothing failed and nothing timed out (``max() <= T`` is
+            # exactly ``not (rtts > T).any()`` -- all values finite):
+            # every mask below is all-True, so the masked stores
+            # reduce to the precast gather constants.  Defer them for
+            # one batched store per gather.
+            d[3].append(b)
+            d[4].append(rtts)
+            return
+        self._store_sampled_bin(b, g, chosen, failed, n_failed, rtts)
+
+    def _store_sampled_bin(
+        self,
+        b: int,
+        g: _EpochGathers,
+        chosen: np.ndarray,
+        failed: np.ndarray,
+        n_failed: int,
+        rtts: np.ndarray,
+    ) -> None:
+        """Write one sampled bin that has failures or timeouts."""
+        rng = self.rng
+        out_site = self.site_idx[b]
+        timed_out = rtts > ATLAS_TIMEOUT_MS
+        site_result = g.sites.astype(np.int16)
+        if n_failed:
+            site_result[failed] = np.where(
+                rng.random(n_failed) < ERROR_GIVEN_FAILURE,
+                RESP_ERROR,
+                RESP_TIMEOUT,
+            ).astype(np.int16)
         site_result[timed_out & ~failed] = RESP_TIMEOUT
 
         ok = site_result >= 0
         out_site[g.routed_idx] = site_result
-        out_rtt[g.routed_idx] = np.where(ok, rtts, np.nan).astype(
-            np.float32
-        )
-        out_server[g.routed_idx] = np.where(ok, chosen, 0).astype(
+        self.rtt_ms[b][g.routed_idx] = np.where(
+            ok, rtts, np.nan
+        ).astype(np.float32)
+        self.server[b][g.routed_idx] = np.where(ok, chosen, 0).astype(
             np.int16
         )
+
+    @staticmethod
+    def _block_index(bins: list[int], cols: np.ndarray) -> tuple:
+        """An outer ``(rows, cols)`` indexer for the deferred block.
+
+        Probe phases stride the bin axis evenly, so deferred bins are
+        almost always a pure arithmetic progression; a basic row slice
+        plus one fancy column index assigns several times faster than
+        the double fancy index ``np.ix_`` builds.  Both spellings are
+        outer indexers addressing exactly the same cells; irregular
+        bin lists keep ``np.ix_``.
+        """
+        if len(bins) > 2:
+            step = bins[1] - bins[0]
+            if step > 0 and bins[-1] == bins[0] + step * (len(bins) - 1):
+                arr = np.asarray(bins)
+                if bool((np.diff(arr) == step).all()):
+                    return (slice(bins[0], bins[-1] + 1, step), cols)
+        return np.ix_(bins, cols)
+
+    def _scatter_deferred(
+        self, deferred: dict[tuple[int, int], list]
+    ) -> None:
+        """Write the deferred constant/draw stores, one per gather.
+
+        Float64 draw rows cast to the float32 output on assignment
+        exactly as the per-bin ``astype`` did, and every deferred
+        region is disjoint from the immediate stores, so the filled
+        matrices match the per-bin order bit for bit.
+        """
+        for key, d in deferred.items():
+            g = self._gather_cache[key]
+            bins_h, rtts_h, bins_u, bins_c, rtts_c = d
+            if bins_h:
+                ix = self._block_index(bins_h, g.hijacked_idx)
+                self.site_idx[ix] = RESP_BOGUS
+                self.rtt_ms[ix] = np.asarray(rtts_h)
+            if bins_u:
+                self.site_idx[
+                    self._block_index(bins_u, g.unrouted_idx)
+                ] = RESP_TIMEOUT
+            if bins_c:
+                ix = self._block_index(bins_c, g.routed_idx)
+                self.site_idx[ix] = g.sites_i16
+                self.rtt_ms[ix] = np.asarray(rtts_c)
+                self.server[ix] = g.balanced_i16
 
     def flush(self) -> None:
         """Run the batched sampling pass over all recorded bins.
 
         Bins are sampled in ascending order so the seeded RNG sequence
-        matches immediate per-bin sampling exactly.
+        matches immediate per-bin sampling exactly.  Quiet bins (zero
+        loss, nothing overloaded -- the common case outside events)
+        share one precomputed baseline failure probability; it is
+        computed through the same ufunc (array ** float) as the
+        per-bin expression so the compared bits are identical.
         """
         if self._flushed:
             return
-        for b in np.flatnonzero(self._recorded):
-            self._sample_recorded_bin(int(b))
+        quiet = ~(
+            self._cond_loss.any(axis=1) | self._cond_over.any(axis=1)
+        )
+        baseline_bin_fail = (
+            np.asarray([BASELINE_FAILURE_PROB]) ** self.probes_per_bin
+        )[0]
+        deferred: dict[tuple[int, int], list] = {}
+        versions = self._version_of_bin.tolist()
+        quiet_l = quiet.tolist()
+        # Hoist the (version, phase) -> (gathers, deferred-lists)
+        # resolution out of the per-bin call: versions change only at
+        # epoch boundaries, so one small lookup table per version run
+        # replaces a tuple-build plus two dict probes per bin.
+        bins_per = self.bins_per_probe
+        rng = self.rng
+        current_version = None
+        by_phase: list[tuple] = []
+        for b in np.flatnonzero(self._recorded).tolist():
+            version = versions[b]
+            if version != current_version:
+                current_version = version
+                by_phase = []
+                for phase in range(bins_per):
+                    key = (version, phase)
+                    d = deferred.get(key)
+                    if d is None:
+                        d = deferred[key] = [[], [], [], [], []]
+                    g = self._epoch_gathers(*key)
+                    # Quiet bins of a gather with routed VPs run
+                    # inline below with these hoisted fields; gathers
+                    # probing nothing (or nothing routed) keep the
+                    # general path.
+                    fast = None
+                    if g.any_probed and g.routed_idx.size:
+                        fast = (
+                            g.base_rtt,
+                            g.delay_sub,
+                            g.routed_idx.size,
+                            g.hijacked_idx.size,
+                            d[0].append,
+                            d[1].append,
+                            d[2].append if g.unrouted_idx.size else None,
+                            d[3].append,
+                            d[4].append,
+                        )
+                    by_phase.append((g, d, fast))
+            g, d, fast = by_phase[b % bins_per]
+            if fast is None or not quiet_l[b]:
+                self._sample_recorded_bin(
+                    b, quiet_l[b], baseline_bin_fail, g, d
+                )
+                continue
+            # Inline quiet fast path: draw for draw and op for op the
+            # same sequence as _sample_recorded_bin's quiet branch,
+            # minus the per-bin call and gather-field dispatch.
+            (
+                base_rtt, delay_sub, n_routed, n_hijacked,
+                hijack_bins, hijack_rtts,
+                unrouted_append, clean_bins, clean_rtts,
+            ) = fast
+            if n_hijacked:
+                hijack_bins(b)
+                hijack_rtts(
+                    HIJACK_RTT_MS
+                    * (
+                        1.0
+                        + rng.normal(
+                            0.0, 0.1, n_hijacked
+                        ).clip(-0.3, 0.3)
+                    )
+                )
+            if unrouted_append is not None:
+                unrouted_append(b)
+            failed = rng.random(n_routed) < baseline_bin_fail
+            jitter = np.exp(
+                rng.normal(0.0, RTT_JITTER_SIGMA, n_routed)
+            )
+            rtts = base_rtt * jitter + delay_sub[b]
+            n_failed = int(np.count_nonzero(failed))
+            if (
+                n_failed == 0
+                and float(rtts.max()) <= ATLAS_TIMEOUT_MS
+            ):
+                clean_bins(b)
+                clean_rtts(rtts)
+                continue
+            self._store_sampled_bin(
+                b, g, g.balanced, failed, n_failed, rtts
+            )
+        self._scatter_deferred(deferred)
         self._flushed = True
 
     def finish(self) -> LetterObservations:

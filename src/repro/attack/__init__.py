@@ -13,7 +13,9 @@ from .events import (
     NOV30_EVENT,
     AttackEvent,
     active_event,
+    active_event_index,
     attack_rate,
+    attack_rates,
 )
 from .spoofing import SpoofedSourceModel, format_ipv4
 from .workload import (
@@ -35,7 +37,9 @@ __all__ = [
     "RETRY_SPILL_FRACTION",
     "SpoofedSourceModel",
     "active_event",
+    "active_event_index",
     "attack_rate",
+    "attack_rates",
     "build_botnet",
     "expected_unique_sources",
     "format_ipv4",

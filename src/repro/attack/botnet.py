@@ -121,14 +121,18 @@ class Botnet:
     ) -> np.ndarray:
         """Per-site attack shares as an array indexed by *site_index*.
 
-        Computed from :meth:`load_shares_by_site` (same accumulation
-        order, so values are bit-identical to the dict variant); the
-        engine caches one vector per routing-table version and turns
-        the per-bin share lookup into pure array arithmetic.
+        Bit-identical to scattering :meth:`load_shares_by_site`: the
+        catchment gather is vectorised (``sites_of`` reads the same
+        best-route arrays as per-AS ``site_of``), and ``np.add.at``
+        accumulates weights element by element in ``asns`` order --
+        the exact addition sequence of the dict variant.  The engine
+        caches one vector per routing-table version and turns the
+        per-bin share lookup into pure array arithmetic.
         """
         vector = np.zeros(len(site_index), dtype=np.float64)
-        for site, share in self.load_shares_by_site(table).items():
-            vector[site_index[site]] = share
+        rows = table.sites_of(self.asns, site_index)
+        routed = rows >= 0
+        np.add.at(vector, rows[routed], self.weights[routed])
         return vector
 
 

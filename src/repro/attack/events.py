@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..dns.rcode import ATTACK_QNAME_DEC1, ATTACK_QNAME_NOV30
 from ..rootdns.letters import ATTACKED_LETTERS
 from ..util.timegrid import EVENT_1, EVENT_2, Interval
@@ -78,6 +80,26 @@ def attack_rate(
     return sum(e.rate_for(letter, timestamp) for e in events)
 
 
+def attack_rates(
+    events: tuple[AttackEvent, ...], letter: str, timestamps: np.ndarray
+) -> np.ndarray:
+    """Vectorised :func:`attack_rate` over an array of timestamps.
+
+    Bit-identical to calling :func:`attack_rate` per element: events
+    accumulate in tuple order onto a float zero, and each contributes
+    either its exact ``rate_qps`` or ``0.0`` (the half-open interval
+    test matches :meth:`~repro.util.timegrid.Interval.contains`).
+    """
+    ts = np.asarray(timestamps, dtype=np.float64)
+    total = np.zeros(ts.shape, dtype=np.float64)
+    for event in events:
+        if letter not in event.targets:
+            continue
+        inside = (ts >= event.interval.start) & (ts < event.interval.end)
+        total = total + np.where(inside, event.rate_qps, 0.0)
+    return total
+
+
 def active_event(
     events: tuple[AttackEvent, ...], timestamp: float
 ) -> AttackEvent | None:
@@ -86,3 +108,16 @@ def active_event(
         if event.interval.contains(timestamp):
             return event
     return None
+
+
+def active_event_index(
+    events: tuple[AttackEvent, ...], timestamps: np.ndarray
+) -> np.ndarray:
+    """Vectorised :func:`active_event`: index of the *first* event in
+    tuple order covering each timestamp, or ``-1`` for none."""
+    ts = np.asarray(timestamps, dtype=np.float64)
+    index = np.full(ts.shape, -1, dtype=np.int64)
+    for i, event in enumerate(events):
+        inside = (ts >= event.interval.start) & (ts < event.interval.end)
+        index[inside & (index < 0)] = i
+    return index

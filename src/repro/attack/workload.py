@@ -95,15 +95,32 @@ def legit_share_vector(
     """``(per-site share vector, total routed share)``.
 
     Array variant of :func:`legit_shares_by_site` for the engine's
-    per-epoch cache.  The total is summed in the dict's insertion
-    order, keeping it bit-identical to ``sum(shares.values())`` on the
-    dict variant (the engine derives the unrouted fraction from it).
+    per-epoch cache, bit-identical to scattering the dict: the
+    catchment gather is vectorised and ``np.add.at`` adds the 1/N
+    stub share per occurrence in stub order -- the dict variant's
+    exact addition sequence.  The total is summed over sites in
+    first-appearance (dict insertion) order, keeping it bit-identical
+    to ``sum(shares.values())`` (the engine derives the unrouted
+    fraction from it).
     """
-    shares = legit_shares_by_site(table, stub_asns)
+    if not stub_asns:
+        raise ValueError("need at least one stub AS")
+    per_stub = 1.0 / len(stub_asns)
+    rows = table.sites_of(
+        np.asarray(stub_asns, dtype=np.int64), site_index
+    )
+    routed = rows[rows >= 0]
     vector = np.zeros(len(site_index), dtype=np.float64)
-    for site, share in shares.items():
-        vector[site_index[site]] = share
-    return vector, sum(shares.values())
+    np.add.at(vector, routed, per_stub)
+    uniq, first = np.unique(routed, return_index=True)
+    order = uniq[np.argsort(first, kind="stable")]
+    return vector, sum(float(vector[site]) for site in order)
+
+
+#: Per-letters-tuple memo of each source letter's retry targets; the
+#: engine calls :func:`retry_spill` once per bin with the same letter
+#: set, so the "everyone but me" lists are worth building once.
+_OTHERS_MEMO: dict[tuple[str, ...], dict[str, list[str]]] = {}
 
 
 def retry_spill(
@@ -116,11 +133,22 @@ def retry_spill(
     twelve letters evenly (resolver selection policies differ; a
     uniform spread is the neutral assumption, documented in DESIGN.md).
     """
+    key = tuple(letters)
+    others_of = _OTHERS_MEMO.get(key)
+    if others_of is None:
+        others_of = _OTHERS_MEMO[key] = {
+            source: [letter for letter in letters if letter != source]
+            for source in letters
+        }
+        while len(_OTHERS_MEMO) > 64:
+            _OTHERS_MEMO.pop(next(iter(_OTHERS_MEMO)))
     extra = {letter: 0.0 for letter in letters}
     for source, lost in lost_legit_qps.items():
         if lost < 0:
             raise ValueError("lost rate cannot be negative")
-        others = [letter for letter in letters if letter != source]
+        others = others_of.get(source)
+        if others is None:
+            others = [letter for letter in letters if letter != source]
         if not others:
             continue
         share = lost * RETRY_SPILL_FRACTION / len(others)

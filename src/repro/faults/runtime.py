@@ -243,6 +243,20 @@ class FaultRuntime:
 
     # --- Engine hooks. -------------------------------------------------
 
+    def disruptive_bins(self) -> frozenset[int]:
+        """Bins where this runtime perturbs routing or capacity.
+
+        The segment-batched engine (:mod:`repro.scenario.batch`) may
+        only batch across bins where :meth:`apply_routing` is a no-op
+        and :meth:`capacity` returns *base* unchanged; everything else
+        must run through the per-bin reference path.  Atlas masking and
+        RSSAC filtering act on packaged outputs after the loop, so
+        their bins do not constrain batching.
+        """
+        bins = set(self._reset_begin) | set(self._reset_end)
+        bins.update(b for (_, b) in self._cap_scale)
+        return frozenset(bins)
+
     def apply_routing(self, bin_index: int, timestamp: float) -> None:
         """Flap announcements for session resets scheduled in this bin.
 

@@ -46,6 +46,14 @@ PREFIX_CACHE_STATS: dict[str, int] = {
     "delta_derived": 0,
 }
 
+#: Below this graph size :meth:`AnycastPrefix._compute` skips the
+#: delta path: on scenario-scale graphs (~1 k nodes) a full propagation
+#: costs 1-5 ms while hunting for a base plus replaying its trace costs
+#: more than it saves; the replay only pays for itself on the as-rel2
+#: internet-scale graphs (50 k+ nodes).  The cutoff is a pure speed
+#: heuristic -- both paths produce bit-identical tables.
+DELTA_MIN_NODES = 4096
+
 
 def _state_distance(key_a: tuple, key_b: tuple) -> int:
     """How many announce/withdraw/block edits separate two state keys."""
@@ -202,6 +210,8 @@ class AnycastPrefix:
         full propagation whatever it starts from -- so the base choice
         (nearest by announce/withdraw/block edit distance, most
         recently used winning ties) only affects speed, never output.
+        Graphs smaller than :data:`DELTA_MIN_NODES` always propagate
+        in full: at that scale the replay costs more than it saves.
         """
         origins = [
             self._origins[s].with_blocked(self._blocked[s])
@@ -209,7 +219,11 @@ class AnycastPrefix:
         ]
         if not origins:
             return RoutingTable({})
-        base = self._nearest_base(key) if delta_enabled() else None
+        base = (
+            self._nearest_base(key)
+            if delta_enabled() and len(self.graph) >= DELTA_MIN_NODES
+            else None
+        )
         if base is None:
             return propagate(self.graph, origins)
         base_key, base_table = base

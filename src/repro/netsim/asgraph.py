@@ -237,7 +237,6 @@ class ASGraph:
         tuple[int, dict[int, int], np.ndarray, np.ndarray] | None
     ) = None
     _distance_cache: dict[int, np.ndarray] = field(default_factory=dict)
-    _distance_version: int = -1
     _csr_cache: CompiledGraph | None = None
 
     @property
@@ -277,14 +276,14 @@ class ASGraph:
     def coordinate_arrays(
         self,
     ) -> tuple[dict[int, int], np.ndarray, np.ndarray]:
-        """``(row_of_asn, lats, lons)`` over all ASes, cached per version.
+        """``(row_of_asn, lats, lons)`` over all ASes, cached.
 
-        Row order is insertion order; the cache is rebuilt whenever the
-        graph structure changes (keyed on :attr:`version`, so link-only
-        changes invalidate it too).
+        Row order is insertion order.  Nodes are append-only and their
+        locations immutable, so the arrays depend only on the node
+        *count* -- link-only structure changes keep the cache warm.
         """
         cache = self._coord_cache
-        if cache is not None and cache[0] == self._version:
+        if cache is not None and cache[0] == len(self._nodes):
             return cache[1], cache[2], cache[3]
         row_of = {asn: i for i, asn in enumerate(self._nodes)}
         lats = np.array(
@@ -295,7 +294,7 @@ class ASGraph:
             [n.location.lon for n in self._nodes.values()],
             dtype=np.float64,
         )
-        self._coord_cache = (self._version, row_of, lats, lons)
+        self._coord_cache = (len(self._nodes), row_of, lats, lons)
         return row_of, lats, lons
 
     def distance_row(
@@ -303,18 +302,16 @@ class ASGraph:
     ) -> np.ndarray:
         """Distances (km × *scale*) from *location* to every AS.
 
-        Rows align with :meth:`coordinate_arrays`; memoized on
-        ``(graph version, cache_key)`` so repeated propagations over a
-        stable graph reuse the same arrays (stale rows from older
-        structure versions are dropped wholesale).  *cache_key* must
-        uniquely identify ``(location, scale)`` -- callers pass the
-        origin ASN.
+        Rows align with :meth:`coordinate_arrays`; memoized per origin
+        *cache_key* (callers pass the origin ASN, which uniquely
+        identifies ``(location, scale)``).  Nodes are append-only with
+        immutable locations, so a row stays valid until the node count
+        grows -- stale-length rows are recomputed on access, and
+        link-only structure changes keep the memo warm.
         """
-        if self._distance_version != self._version:
-            self._distance_cache.clear()
-            self._distance_version = self._version
+        n_nodes = len(self._nodes)
         row = self._distance_cache.get(cache_key)
-        if row is None:
+        if row is None or row.shape[0] != n_nodes:
             _, lats, lons = self.coordinate_arrays()
             row = haversine_km_vec(
                 lats, lons, location.lat, location.lon
@@ -322,17 +319,56 @@ class ASGraph:
             self._distance_cache[cache_key] = row
         return row
 
-    def distance_memo(self) -> dict[int, np.ndarray]:
-        """The per-origin distance rows memoized for the *current*
-        structure version, keyed by origin cache key (ASN).
+    def distance_rows(
+        self, specs: list[tuple[int, Location, float]]
+    ) -> list[np.ndarray]:
+        """Batched :meth:`distance_row`: one row per ``(cache_key,
+        location, scale)`` spec.
 
-        Rows from stale versions are excluded (they would be dropped
-        by the next :meth:`distance_row` call anyway).  Used by the
+        Rows already memoized (and still the right length) are served
+        from the cache; all misses are computed in a single broadcast
+        haversine call instead of one small vectorised call per origin
+        -- with hundreds of origins per letter the per-call numpy
+        overhead dominates the arithmetic.  Broadcasting evaluates the
+        same elementwise operations in the same order as the per-row
+        call, so the cached rows are bit-identical either way.
+        """
+        n_nodes = len(self._nodes)
+        cache = self._distance_cache
+        missing = [
+            (key, location, scale)
+            for key, location, scale in specs
+            if (row := cache.get(key)) is None or row.shape[0] != n_nodes
+        ]
+        if missing:
+            _, lats, lons = self.coordinate_arrays()
+            origin_lats = np.array(
+                [location.lat for _, location, _ in missing]
+            )
+            origin_lons = np.array(
+                [location.lon for _, location, _ in missing]
+            )
+            matrix = haversine_km_vec(
+                lats, lons, origin_lats[:, None], origin_lons[:, None]
+            )
+            for i, (key, _location, scale) in enumerate(missing):
+                cache[key] = matrix[i] * scale
+        return [cache[key] for key, _location, _scale in specs]
+
+    def distance_memo(self) -> dict[int, np.ndarray]:
+        """The per-origin distance rows valid for the *current* node
+        set, keyed by origin cache key (ASN).
+
+        Stale-length rows are excluded (they would be recomputed by
+        the next :meth:`distance_row` call anyway).  Used by the
         zero-copy sweep layer to ship warm tie-break memos to workers.
         """
-        if self._distance_version != self._version:
-            return {}
-        return dict(self._distance_cache)
+        n_nodes = len(self._nodes)
+        return {
+            key: row
+            for key, row in self._distance_cache.items()
+            if row.shape[0] == n_nodes
+        }
 
     def compiled(self) -> CompiledGraph:
         """The immutable CSR view of the current structure (cached).

@@ -423,7 +423,10 @@ class RoutingTable:
         if (
             mine is not None
             and theirs is not None
-            and mine.compiled is theirs.compiled
+            and (
+                mine.compiled is theirs.compiled
+                or _rows_prefix_aligned(mine.compiled, theirs.compiled)
+            )
         ):
             return self._changes_from_arrays(mine, theirs)
         changed: set[int] = set()
@@ -440,12 +443,17 @@ class RoutingTable:
     def _changes_from_arrays(
         mine: _TableArrays, theirs: _TableArrays
     ) -> set[int]:
-        reached_a = mine.best_class != _UNREACHED
-        reached_b = theirs.best_class != _UNREACHED
+        # The two tables may sit on different compiled views of an
+        # append-only graph (the caller verified the shared row
+        # prefix); rows past the shorter table exist on one side only
+        # and count as changed wherever they hold a route.
+        n = min(mine.best_class.shape[0], theirs.best_class.shape[0])
+        reached_a = mine.best_class[:n] != _UNREACHED
+        reached_b = theirs.best_class[:n] != _UNREACHED
         changed = reached_a != reached_b
         both = reached_a & reached_b
         if mine.site_names == theirs.site_names:
-            their_site = theirs.best_site
+            their_site = theirs.best_site[:n]
         else:
             # Map the other table's site indices into this table's
             # space; -2 marks sites this table does not know (always a
@@ -457,16 +465,20 @@ class RoutingTable:
             trans[-1] = -1
             for j, name in enumerate(theirs.site_names):
                 trans[j] = index.get(name, -2)
-            their_site = trans[theirs.best_site]
+            their_site = trans[theirs.best_site[:n]]
         keydiff = (
-            (mine.best_class != theirs.best_class)
-            | (mine.best_pathlen != theirs.best_pathlen)
-            | (mine.best_tiebreak != theirs.best_tiebreak)
-            | (mine.best_site != their_site)
-            | (mine.best_origin != theirs.best_origin)
+            (mine.best_class[:n] != theirs.best_class[:n])
+            | (mine.best_pathlen[:n] != theirs.best_pathlen[:n])
+            | (mine.best_tiebreak[:n] != theirs.best_tiebreak[:n])
+            | (mine.best_site[:n] != their_site)
+            | (mine.best_origin[:n] != theirs.best_origin[:n])
         )
         changed |= both & keydiff
         changed_rows = [np.flatnonzero(changed)]
+        if mine.best_class.shape[0] > n:
+            changed_rows.append(
+                n + np.flatnonzero(mine.best_class[n:] != _UNREACHED)
+            )
         # Key-equal rows can still differ in the path interior; walk
         # both record chains level by level (same length: equal keys
         # imply equal path lengths).
@@ -486,13 +498,32 @@ class RoutingTable:
             alive = rec_a >= 0
             same, rec_a, rec_b = same[alive], rec_a[alive], rec_b[alive]
         rows = np.concatenate(changed_rows)
-        return set(mine.compiled.asn_of[rows].tolist())
+        result = set(mine.compiled.asn_of[rows].tolist())
+        if theirs.best_class.shape[0] > n:
+            extra = n + np.flatnonzero(
+                theirs.best_class[n:] != _UNREACHED
+            )
+            result.update(theirs.compiled.asn_of[extra].tolist())
+        return result
 
     def __len__(self) -> int:
         arrays = self._arrays
         if arrays is not None:
             return int((arrays.best_class != _UNREACHED).sum())
         return len(self._routes)
+
+
+def _rows_prefix_aligned(a: CompiledGraph, b: CompiledGraph) -> bool:
+    """Whether two compiled views share their leading row order.
+
+    AS nodes are append-only, so two compilations of the *same* graph
+    taken before and after it grew agree on every shared row -- their
+    tables then compare elementwise over the common prefix instead of
+    materializing Route dicts.  Checked against the actual asn rows
+    (not assumed) so unrelated graphs never take the array path.
+    """
+    n = min(a.asn_of.shape[0], b.asn_of.shape[0])
+    return bool(np.array_equal(a.asn_of[:n], b.asn_of[:n]))
 
 
 def _geo_tiebreak(graph: ASGraph, asn: int, origin: Origin) -> float:
@@ -535,13 +566,16 @@ class _Propagation:
         # without a located origin tie-break at 0.0.  Duplicated site
         # ids resolve last-origin-wins, like the reference's dict.
         self.tie = np.zeros((len(self.site_names), n), dtype=np.float64)
-        for origin in origins:
-            if origin.location is not None:
-                self.tie[site_idx[origin.site]] = graph.distance_row(
-                    origin.asn,
-                    origin.location,
-                    1.0 - origin.preference_discount,
-                )
+        located = [o for o in origins if o.location is not None]
+        if located:
+            rows = graph.distance_rows(
+                [
+                    (o.asn, o.location, 1.0 - o.preference_discount)
+                    for o in located
+                ]
+            )
+            for origin, row in zip(located, rows):
+                self.tie[site_idx[origin.site]] = row
         by_site = {o.site: o for o in origins}
         self.blocked: np.ndarray | None = None
         if any(o.blocked_neighbors for o in by_site.values()):

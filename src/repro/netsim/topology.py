@@ -103,6 +103,9 @@ class Topology:
         self._next_site_asn = _SITE_ASN_BASE
         self._transit_coords: tuple | None = None
         self._stub_coords: tuple | None = None
+        self._distance_memo: dict[
+            tuple[str, int, float, float], np.ndarray
+        ] = {}
 
     def _coords(self, asns: list[int], cache: tuple | None) -> tuple:
         """(n, lats, lons) for *asns*, rebuilt when the list grew."""
@@ -118,19 +121,34 @@ class Topology:
         )
         return (len(asns), lats, lons)
 
+    def _distances(
+        self, kind: str, coords: tuple, location: Location
+    ) -> np.ndarray:
+        """Distance row, memoised per (AS list length, location).
+
+        Many sites share a metro, so the same great-circle row is
+        requested over and over during substrate build; the memo key
+        includes the list length so a grown AS list invalidates it.
+        """
+        key = (kind, coords[0], location.lat, location.lon)
+        row = self._distance_memo.get(key)
+        if row is None:
+            _, lats, lons = coords
+            row = haversine_km_vec(lats, lons, location.lat, location.lon)
+            self._distance_memo[key] = row
+        return row
+
     def transit_distances(self, location: Location) -> np.ndarray:
         """Distance from *location* to every transit AS (list order)."""
         self._transit_coords = self._coords(
             self.transit_asns, self._transit_coords
         )
-        _, lats, lons = self._transit_coords
-        return haversine_km_vec(lats, lons, location.lat, location.lon)
+        return self._distances("transit", self._transit_coords, location)
 
     def stub_distances(self, location: Location) -> np.ndarray:
         """Distance from *location* to every stub AS (list order)."""
         self._stub_coords = self._coords(self.stub_asns, self._stub_coords)
-        _, lats, lons = self._stub_coords
-        return haversine_km_vec(lats, lons, location.lat, location.lon)
+        return self._distances("stub", self._stub_coords, location)
 
     def nearest_transits(self, location: Location, k: int = 2) -> list[int]:
         """The *k* transit ASes closest to *location*."""

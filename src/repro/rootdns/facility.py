@@ -89,6 +89,23 @@ class FacilityRegistry:
         total = sum(m.capacity_qps for m in self.members(facility))
         return total * self.ingress_factor
 
+    def spillover_layout(
+        self,
+    ) -> list[tuple[str, float, list[FacilityMember]]]:
+        """``(facility, shared capacity, members)`` rows in the exact
+        walk order of :meth:`spillover`.
+
+        The segment-batched engine precomputes a label-to-array-slot
+        map from this layout so per-bin facility sums become indexed
+        adds instead of dict lookups; the capacities here are the same
+        floats :meth:`capacity` returns, so replaying the
+        :meth:`spillover` arithmetic over the layout is bit-identical.
+        """
+        return [
+            (facility, self.capacity(facility), list(members.values()))
+            for facility, members in self._members.items()
+        ]
+
     def spillover(
         self, offered_by_label: dict[str, float]
     ) -> dict[str, float]:

@@ -122,6 +122,37 @@ class DayAccumulator:
         if attack_response_payload is not None:
             self.attack_response_payload = attack_response_payload
 
+    def add_bins(
+        self,
+        legit_accepted: np.ndarray,
+        spill_accepted: np.ndarray,
+        attack_accepted: np.ndarray,
+        bin_seconds: float,
+        attack_query_payloads: np.ndarray | None = None,
+        attack_response_payloads: np.ndarray | None = None,
+    ) -> None:
+        """Fold a contiguous run of bins, one :meth:`add_bin` each.
+
+        The payload arrays use ``-1`` for "no attack payload this
+        bin".  Accumulation stays a sequential per-bin ``+=`` so the
+        floating-point fold order -- and therefore every counter --
+        is bit-identical to per-bin calls.
+        """
+        for i in range(legit_accepted.shape[0]):
+            self.legit_queries += float(legit_accepted[i]) * bin_seconds
+            self.spill_queries += float(spill_accepted[i]) * bin_seconds
+            self.attack_accepted += float(attack_accepted[i]) * bin_seconds
+            if (
+                attack_query_payloads is not None
+                and attack_query_payloads[i] >= 0
+            ):
+                self.attack_query_payload = int(attack_query_payloads[i])
+            if (
+                attack_response_payloads is not None
+                and attack_response_payloads[i] >= 0
+            ):
+                self.attack_response_payload = int(attack_response_payloads[i])
+
 
 def build_daily_report(
     spec: LetterSpec,

@@ -62,6 +62,8 @@ from ..rssac.reports import (
     build_baseline_report,
     build_daily_report,
 )
+from ..util import env
+from ..util.env import env_flag
 from ..util.rng import RngFactory
 from ..util.timegrid import Interval, TimeGrid
 from .config import ScenarioConfig
@@ -232,6 +234,235 @@ def _run_controller(
         elif action.kind is ActionKind.RESTORE:
             dep.prefix.set_blocked(action.site, frozenset(), timestamp)
             dep.states[action.site].partial = False
+
+
+@dataclass(slots=True)
+class _RunState:
+    """Everything the bin loop reads and mutates, bundled.
+
+    Shared by the per-bin reference path (:func:`_run_bin`) and the
+    segment-batched executor (:mod:`repro.scenario.batch`), so both
+    operate on literally the same state objects and interleave freely
+    (the batched path falls back to :func:`_run_bin` for bins a fault
+    perturbs).
+    """
+
+    config: ScenarioConfig
+    grid: TimeGrid
+    topology: Topology
+    facilities: FacilityRegistry
+    deployments: dict[str, LetterDeployment]
+    letters: list[str]
+    botnet: Botnet
+    nl: NlService | None
+    faults: FaultRuntime | None
+    probers: dict[str, LetterProber]
+    workloads: dict[str, BaselineWorkload]
+    truth: dict[str, LetterTruth]
+    epoch_catchments: dict[str, list[np.ndarray]]
+    epoch_cache: dict[tuple[str, int], _EpochData]
+    accumulators: dict[str, dict[str, DayAccumulator]]
+    day_dates: list[str]
+    buffer_caps: dict[str, np.ndarray]
+    qname_sizes: dict[str, int]
+    #: Letter-flip retry feedback: extra legitimate load per letter in
+    #: the *next* bin, updated at the end of every bin.
+    spill: dict[str, float]
+
+
+def _epoch_for(
+    state: _RunState, letter: str
+) -> tuple["RoutingTable", _EpochData]:
+    """The letter's current routing table and per-epoch arrays.
+
+    Cache misses append the epoch's stub catchment and assign the next
+    epoch index, so epoch numbering follows each letter's first-visit
+    order exactly as the original inline code did.
+    """
+    dep = state.deployments[letter]
+    table = dep.routing()
+    key = (letter, table.version)
+    ed = state.epoch_cache.get(key)
+    if ed is None:
+        legit_share, legit_total = legit_share_vector(
+            table, state.topology.stub_asns, dep.site_index
+        )
+        ed = _EpochData(
+            epoch=len(state.epoch_catchments[letter]),
+            bot_share=state.botnet.site_share_vector(
+                table, dep.site_index
+            ),
+            legit_share=legit_share,
+            legit_total=legit_total,
+        )
+        state.epoch_catchments[letter].append(
+            table.sites_of(state.topology.stub_asns, dep.site_index)
+        )
+        state.epoch_cache[key] = ed
+    return table, ed
+
+
+def _run_bin(state: _RunState, b: int) -> None:
+    """One bin of the reference per-bin path (passes 1-3)."""
+    config = state.config
+    grid = state.grid
+    letters = state.letters
+    deployments = state.deployments
+    faults = state.faults
+    nl = state.nl
+    truth = state.truth
+    spill = state.spill
+
+    ts = grid.bin_start(b)
+    tc = ts + grid.bin_seconds / 2.0
+    date = state.day_dates[
+        min(len(state.day_dates) - 1, b * grid.bin_seconds // 86_400)
+    ]
+    event = active_event(config.events, tc)
+
+    # Incidental failures scheduled for this bin (session resets
+    # flap announcements before the routing tables are read).
+    if faults is not None:
+        faults.apply_routing(b, float(ts))
+
+    # --- Pass 1: offered load per site, across all letters. -------
+    offered_by_label: dict[str, float] = {}
+    per_letter: dict[str, dict] = {}
+    for letter in letters:
+        dep = deployments[letter]
+        table, ed = _epoch_for(state, letter)
+        truth[letter].epoch_of_bin[b] = ed.epoch
+
+        attack_qps = attack_rate(config.events, letter, tc)
+        legit_qps = state.workloads[letter].rate_at(tc)
+        spill_qps = spill[letter]
+
+        attack_site = attack_qps * ed.bot_share
+        legit_site = (legit_qps + spill_qps) * ed.legit_share
+        offered = attack_site + legit_site
+        labels = dep.site_labels
+        for i in np.flatnonzero(offered > 0):
+            offered_by_label[labels[i]] = float(offered[i])
+        per_letter[letter] = {
+            "table": table,
+            "ed": ed,
+            "attack_site": attack_site,
+            "legit_site": legit_site,
+            "offered": offered,
+            "attack_qps": attack_qps,
+            "legit_qps": legit_qps,
+            "spill_qps": spill_qps,
+        }
+
+    nl_offered: dict[str, float] | None = None
+    if nl is not None:
+        nl_offered = nl.node_offered(tc)
+        offered_by_label.update(nl_offered)
+
+    # --- Pass 2: facility spillover. -------------------------------
+    facility_extra = state.facilities.spillover(offered_by_label)
+
+    # --- Pass 3: per-letter outcomes, probing, policies. -----------
+    new_spill_sources: dict[str, float] = {}
+    for letter in letters:
+        dep = deployments[letter]
+        data = per_letter[letter]
+        codes = dep.site_order
+        capacity = dep.capacity_vector
+        if faults is not None:
+            capacity = faults.capacity(letter, b, capacity)
+        offered = data["offered"]
+        rho, loss, delay = config.overload.evaluate(offered, capacity)
+        delay = np.minimum(delay, state.buffer_caps[letter])
+
+        extra = np.array(
+            [
+                facility_extra.get(label, 0.0)
+                for label in dep.site_labels
+            ]
+        )
+        combined_loss = 1.0 - (1.0 - loss) * (1.0 - extra)
+        overloaded = rho > OVERLOAD_RHO
+
+        conditions = SiteBinConditions(
+            loss=combined_loss,
+            delay_ms=delay,
+            overloaded=overloaded,
+        )
+        state.probers[letter].record_bin(b, data["table"], conditions)
+
+        t = truth[letter]
+        t.offered_qps[b] = offered
+        t.loss[b] = combined_loss
+        t.delay_ms[b] = delay
+        t.announced[b] = dep.announced_mask()
+
+        # RSSAC accumulation: what the servers accepted.
+        accepted_frac = 1.0 - combined_loss
+        attack_accepted = float(
+            (data["attack_site"] * accepted_frac).sum()
+        )
+        legit_accepted = float(
+            (data["legit_site"] * accepted_frac).sum()
+        )
+        legit_offered = data["legit_qps"] + data["spill_qps"]
+        t.legit_offered_qps[b] = legit_offered
+        t.legit_served_qps[b] = legit_accepted
+        if legit_offered > 0:
+            spill_fraction = data["spill_qps"] / legit_offered
+        else:
+            spill_fraction = 0.0
+        acc = state.accumulators[letter][date]
+        qname_payload = None
+        resp_payload = None
+        if event is not None and data["attack_qps"] > 0:
+            qname_payload = state.qname_sizes.get(event.qname)
+            if qname_payload is None:
+                qname_payload = make_query(0, event.qname).wire_size
+                state.qname_sizes[event.qname] = qname_payload
+            resp_payload = event.response_wire_bytes - 40
+        acc.add_bin(
+            legit_accepted=legit_accepted * (1.0 - spill_fraction),
+            spill_accepted=legit_accepted * spill_fraction,
+            attack_accepted=attack_accepted,
+            bin_seconds=grid.bin_seconds,
+            attack_query_payload=qname_payload,
+            attack_response_payload=resp_payload,
+        )
+
+        # Letter flips: legitimate queries lost here are retried at
+        # the other letters next bin.
+        lost_legit = float(
+            (data["legit_site"] * combined_loss).sum()
+        )
+        unrouted = 1.0 - data["ed"].legit_total
+        lost_legit += max(0.0, unrouted) * legit_offered
+        new_spill_sources[letter] = lost_legit
+
+        # Control loop (affects routing from the next bin): either
+        # the deployment's built-in static policies or a pluggable
+        # defense controller (repro.defense).
+        controller = (
+            config.controllers.get(letter)
+            if config.controllers
+            else None
+        )
+        if controller is None:
+            dep.apply_policies(
+                rho,
+                letter_under_attack=data["attack_qps"] > 0,
+                timestamp=float(ts + grid.bin_seconds),
+            )
+        else:
+            _run_controller(
+                controller, dep, b, codes, capacity, offered,
+                combined_loss, float(ts + grid.bin_seconds),
+            )
+
+    if nl is not None:
+        nl.record_bin(b, facility_extra, offered=nl_offered)
+
+    state.spill = retry_spill(new_spill_sources, letters)
 
 
 #: Config fields that determine the substrate (everything built before
@@ -529,182 +760,47 @@ def simulate(
     # versions are stable tokens (unlike id(), which the GC can alias),
     # so entries stay valid for the whole run and recurring routing
     # states (before/during/after each event) hit the cache.
-    epoch_cache: dict[tuple[str, int], _EpochData] = {}
-    buffer_caps = {
-        letter: deployments[letter].buffer_caps(config.overload.buffer_ms)
-        for letter in letters
-    }
-    qname_sizes: dict[str, int] = {}
-    spill: dict[str, float] = {letter: 0.0 for letter in letters}
     duplicate_ratio = 1.0 - config.botnet.tail_share
-
-    for b in range(grid.n_bins):
-        ts = grid.bin_start(b)
-        tc = ts + grid.bin_seconds / 2.0
-        date = day_dates[
-            min(len(day_dates) - 1, b * grid.bin_seconds // 86_400)
-        ]
-        event = active_event(config.events, tc)
-
-        # Incidental failures scheduled for this bin (session resets
-        # flap announcements before the routing tables are read).
-        if faults is not None:
-            faults.apply_routing(b, float(ts))
-
-        # --- Pass 1: offered load per site, across all letters. -------
-        offered_by_label: dict[str, float] = {}
-        per_letter: dict[str, dict] = {}
-        for letter in letters:
-            dep = deployments[letter]
-            table = dep.routing()
-            key = (letter, table.version)
-            ed = epoch_cache.get(key)
-            if ed is None:
-                legit_share, legit_total = legit_share_vector(
-                    table, topology.stub_asns, dep.site_index
-                )
-                ed = _EpochData(
-                    epoch=len(epoch_catchments[letter]),
-                    bot_share=botnet.site_share_vector(
-                        table, dep.site_index
-                    ),
-                    legit_share=legit_share,
-                    legit_total=legit_total,
-                )
-                epoch_catchments[letter].append(
-                    table.sites_of(topology.stub_asns, dep.site_index)
-                )
-                epoch_cache[key] = ed
-            truth[letter].epoch_of_bin[b] = ed.epoch
-
-            attack_qps = attack_rate(config.events, letter, tc)
-            legit_qps = workloads[letter].rate_at(tc)
-            spill_qps = spill[letter]
-
-            attack_site = attack_qps * ed.bot_share
-            legit_site = (legit_qps + spill_qps) * ed.legit_share
-            offered = attack_site + legit_site
-            labels = dep.site_labels
-            for i in np.flatnonzero(offered > 0):
-                offered_by_label[labels[i]] = float(offered[i])
-            per_letter[letter] = {
-                "table": table,
-                "ed": ed,
-                "attack_site": attack_site,
-                "legit_site": legit_site,
-                "offered": offered,
-                "attack_qps": attack_qps,
-                "legit_qps": legit_qps,
-                "spill_qps": spill_qps,
-            }
-
-        if nl is not None:
-            offered_by_label.update(nl.node_offered(tc))
-
-        # --- Pass 2: facility spillover. -------------------------------
-        facility_extra = facilities.spillover(offered_by_label)
-
-        # --- Pass 3: per-letter outcomes, probing, policies. -----------
-        new_spill_sources: dict[str, float] = {}
-        for letter in letters:
-            dep = deployments[letter]
-            data = per_letter[letter]
-            codes = dep.site_order
-            capacity = dep.capacity_vector
-            if faults is not None:
-                capacity = faults.capacity(letter, b, capacity)
-            offered = data["offered"]
-            rho, loss, delay = config.overload.evaluate(offered, capacity)
-            delay = np.minimum(delay, buffer_caps[letter])
-
-            extra = np.array(
-                [
-                    facility_extra.get(label, 0.0)
-                    for label in dep.site_labels
-                ]
+    state = _RunState(
+        config=config,
+        grid=grid,
+        topology=topology,
+        facilities=facilities,
+        deployments=deployments,
+        letters=letters,
+        botnet=botnet,
+        nl=nl,
+        faults=faults,
+        probers=probers,
+        workloads=workloads,
+        truth=truth,
+        epoch_catchments=epoch_catchments,
+        epoch_cache={},
+        accumulators=accumulators,
+        day_dates=day_dates,
+        buffer_caps={
+            letter: deployments[letter].buffer_caps(
+                config.overload.buffer_ms
             )
-            combined_loss = 1.0 - (1.0 - loss) * (1.0 - extra)
-            overloaded = rho > OVERLOAD_RHO
+            for letter in letters
+        },
+        qname_sizes={},
+        spill={letter: 0.0 for letter in letters},
+    )
 
-            conditions = SiteBinConditions(
-                loss=combined_loss,
-                delay_ms=delay,
-                overloaded=overloaded,
-            )
-            probers[letter].record_bin(b, data["table"], conditions)
+    # Segment-batched execution (the default): contiguous runs of bins
+    # with no routing change, no scheduled fault, and no controller are
+    # computed as (n_bins, n_sites) matrices; proven bit-identical to
+    # the per-bin path (tests/scenario/test_engine_batch.py).  Pluggable
+    # controllers observe per-bin state mid-loop, so they always take
+    # the reference path, as does REPRO_ENGINE_BATCH=0.
+    if env_flag(env.ENGINE_BATCH, default=True) and not config.controllers:
+        from .batch import run_batched
 
-            t = truth[letter]
-            t.offered_qps[b] = offered
-            t.loss[b] = combined_loss
-            t.delay_ms[b] = delay
-            t.announced[b] = dep.announced_mask()
-
-            # RSSAC accumulation: what the servers accepted.
-            accepted_frac = 1.0 - combined_loss
-            attack_accepted = float(
-                (data["attack_site"] * accepted_frac).sum()
-            )
-            legit_accepted = float(
-                (data["legit_site"] * accepted_frac).sum()
-            )
-            legit_offered = data["legit_qps"] + data["spill_qps"]
-            t.legit_offered_qps[b] = legit_offered
-            t.legit_served_qps[b] = legit_accepted
-            if legit_offered > 0:
-                spill_fraction = data["spill_qps"] / legit_offered
-            else:
-                spill_fraction = 0.0
-            acc = accumulators[letter][date]
-            qname_payload = None
-            resp_payload = None
-            if event is not None and data["attack_qps"] > 0:
-                qname_payload = qname_sizes.get(event.qname)
-                if qname_payload is None:
-                    qname_payload = make_query(0, event.qname).wire_size
-                    qname_sizes[event.qname] = qname_payload
-                resp_payload = event.response_wire_bytes - 40
-            acc.add_bin(
-                legit_accepted=legit_accepted * (1.0 - spill_fraction),
-                spill_accepted=legit_accepted * spill_fraction,
-                attack_accepted=attack_accepted,
-                bin_seconds=grid.bin_seconds,
-                attack_query_payload=qname_payload,
-                attack_response_payload=resp_payload,
-            )
-
-            # Letter flips: legitimate queries lost here are retried at
-            # the other letters next bin.
-            lost_legit = float(
-                (data["legit_site"] * combined_loss).sum()
-            )
-            unrouted = 1.0 - data["ed"].legit_total
-            lost_legit += max(0.0, unrouted) * legit_offered
-            new_spill_sources[letter] = lost_legit
-
-            # Control loop (affects routing from the next bin): either
-            # the deployment's built-in static policies or a pluggable
-            # defense controller (repro.defense).
-            controller = (
-                config.controllers.get(letter)
-                if config.controllers
-                else None
-            )
-            if controller is None:
-                dep.apply_policies(
-                    rho,
-                    letter_under_attack=data["attack_qps"] > 0,
-                    timestamp=float(ts + grid.bin_seconds),
-                )
-            else:
-                _run_controller(
-                    controller, dep, b, codes, capacity, offered,
-                    combined_loss, float(ts + grid.bin_seconds),
-                )
-
-        if nl is not None:
-            nl.record_bin(b, facility_extra)
-
-        spill = retry_spill(new_spill_sources, letters)
+        run_batched(state)
+    else:
+        for b in range(grid.n_bins):
+            _run_bin(state, b)
 
     # --- Package outputs. ----------------------------------------------
     atlas = AtlasDataset(

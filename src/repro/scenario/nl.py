@@ -92,17 +92,65 @@ class NlService:
             offered[name] = rest / len(STANDALONE_NODES)
         return offered
 
-    def record_bin(
-        self, bin_index: int, facility_extra_loss: dict[str, float]
-    ) -> None:
-        """Record served rates for one bin, given facility spillover."""
-        timestamp = self.grid.bin_start(bin_index) + (
-            self.grid.bin_seconds / 2.0
+    def node_offered_matrix(self, timestamps: np.ndarray) -> np.ndarray:
+        """Offered rates as ``(n_bins, n_nodes)`` in node-label order.
+
+        Elementwise identical to :meth:`node_offered` per timestamp:
+        each column repeats the scalar arithmetic of the dict variant
+        (share multiply; remainder split), so every cell is bit-equal
+        to the corresponding dict entry.
+        """
+        totals = self.workload.rates_at(timestamps)
+        out = np.empty(
+            (totals.shape[0], len(self.node_labels)), dtype=np.float64
         )
-        offered = self.node_offered(timestamp)
+        n_colocated = len(COLOCATED_NODES)
+        for i in range(n_colocated):
+            out[:, i] = totals * self.config.anycast_share
+        rest = totals * (1.0 - 2 * self.config.anycast_share)
+        per_standalone = rest / len(STANDALONE_NODES)
+        for i in range(len(STANDALONE_NODES)):
+            out[:, n_colocated + i] = per_standalone
+        return out
+
+    def record_bin(
+        self,
+        bin_index: int,
+        facility_extra_loss: dict[str, float],
+        offered: dict[str, float] | None = None,
+    ) -> None:
+        """Record served rates for one bin, given facility spillover.
+
+        *offered* is the :meth:`node_offered` mapping for this bin's
+        centre; the engine computes it once in pass 1 and passes it in
+        here so it is not derived twice per bin.  ``None`` recomputes
+        it (standalone callers).
+        """
+        if offered is None:
+            timestamp = self.grid.bin_start(bin_index) + (
+                self.grid.bin_seconds / 2.0
+            )
+            offered = self.node_offered(timestamp)
         for i, name in enumerate(self.node_labels):
             loss = facility_extra_loss.get(name, 0.0)
             self.served[bin_index, i] = offered[name] * (1.0 - loss)
+
+    def record_bins(
+        self,
+        start: int,
+        offered: np.ndarray,
+        extra_loss: np.ndarray,
+    ) -> None:
+        """Batched :meth:`record_bin` over one contiguous bin run.
+
+        *offered* and *extra_loss* are ``(n_bins_seg, n_nodes)`` in
+        node-label order; rows with no spillover carry zeros, which
+        reproduce the per-bin ``offered * (1.0 - 0.0)`` arithmetic
+        exactly.
+        """
+        self.served[start:start + offered.shape[0]] = offered * (
+            1.0 - extra_loss
+        )
 
     def normalized_series(self) -> np.ndarray:
         """Each node's served rate normalised to its own median.

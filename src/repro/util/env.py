@@ -5,8 +5,9 @@ host environment, but a handful of *operational* toggles legitimately
 live there -- the incremental-routing escape hatch
 (``REPRO_BGP_DELTA``), the test-only sweep chaos hook
 (``REPRO_SWEEP_CHAOS``), the runtime sanitizer
-(``REPRO_SANITIZE``), and the zero-copy sweep-substrate toggle
-(``REPRO_SWEEP_SHM``).  Every one of those reads goes through
+(``REPRO_SANITIZE``), the zero-copy sweep-substrate toggle
+(``REPRO_SWEEP_SHM``), and the segment-batched engine escape hatch
+(``REPRO_ENGINE_BATCH``).  Every one of those reads goes through
 :func:`read_env` so the interprocedural purity analyzer
 (:mod:`repro.devtools.purity`) has exactly one allowlisted ENV_READ
 source to reason about; an ``os.environ`` read anywhere else in the
@@ -29,6 +30,10 @@ SANITIZE = "REPRO_SANITIZE"
 #: Zero-copy shared-memory substrates for parallel sweeps; set to
 #: ``"0"`` to force the legacy per-worker rebuild (pickled) path.
 SWEEP_SHM = "REPRO_SWEEP_SHM"
+#: Segment-batched engine execution; set to ``"0"`` to force the
+#: per-bin reference path (bit-identical by construction, see
+#: docs/architecture.md "Segment-batched execution").
+ENGINE_BATCH = "REPRO_ENGINE_BATCH"
 
 
 def read_env(name: str, default: str = "") -> str:

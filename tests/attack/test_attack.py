@@ -208,3 +208,13 @@ class TestRetrySpill:
     def test_negative_loss_rejected(self):
         with pytest.raises(ValueError):
             retry_spill({"A": -1.0}, ["A", "B"])
+
+    def test_memo_hit_is_identical_to_fresh(self):
+        from repro.attack import workload
+
+        letters = list("ABCDE")
+        lost = {"A": 50.0, "C": 10.0}
+        workload._OTHERS_MEMO.clear()
+        fresh = retry_spill(lost, letters)
+        assert tuple(letters) in workload._OTHERS_MEMO
+        assert retry_spill(lost, letters) == fresh

@@ -1,0 +1,161 @@
+"""Edge cases for the vectorised event kernels.
+
+``attack_rates`` and ``active_event_index`` feed the segment-batched
+engine whole-window timestamp arrays; the per-bin reference path calls
+the scalar ``attack_rate``/``active_event``.  Bit-identity of the two
+engine paths rests on these pairs agreeing exactly -- including on
+bin-boundary timestamps (half-open intervals), overlapping events
+against the same letter, and zero-length intervals.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.attack import (
+    AttackEvent,
+    active_event,
+    active_event_index,
+    attack_rate,
+    attack_rates,
+)
+from repro.util import Interval
+
+
+def _event(start, end, rate, targets, name="ev"):
+    return AttackEvent(
+        name=name,
+        interval=Interval(start, end),
+        qname=f"{name}.example.",
+        rate_qps=rate,
+        targets=targets,
+        query_wire_bytes=84,
+    )
+
+
+class TestBinBoundaries:
+    """Intervals are half-open: the start instant is inside, the end
+    instant is outside, and both kernels must agree at the edges."""
+
+    EVENT = _event(1000, 2000, 3.0e6, ("K",))
+
+    @pytest.mark.parametrize(
+        "timestamp,expected",
+        [
+            (999.999, 0.0),
+            (1000.0, 3.0e6),  # start is inclusive
+            (1999.999, 3.0e6),
+            (2000.0, 0.0),  # end is exclusive
+        ],
+    )
+    def test_scalar_half_open(self, timestamp, expected):
+        assert attack_rate((self.EVENT,), "K", timestamp) == expected
+
+    def test_vector_matches_scalar_at_edges(self):
+        ts = np.array([999.999, 1000.0, 1500.0, 1999.999, 2000.0])
+        vec = attack_rates((self.EVENT,), "K", ts)
+        scalar = [attack_rate((self.EVENT,), "K", t) for t in ts]
+        assert vec.tolist() == scalar
+        idx = active_event_index((self.EVENT,), ts)
+        assert idx.tolist() == [-1, 0, 0, 0, -1]
+
+
+class TestOverlappingEvents:
+    def test_rates_sum_over_same_letter(self):
+        events = (
+            _event(0, 100, 1.0e6, ("K",), name="a"),
+            _event(50, 150, 2.0e6, ("K", "A"), name="b"),
+        )
+        ts = np.array([25.0, 75.0, 125.0])
+        assert attack_rates(events, "K", ts).tolist() == [
+            1.0e6, 3.0e6, 2.0e6,
+        ]
+        assert attack_rates(events, "A", ts).tolist() == [0.0, 2.0e6, 2.0e6]
+
+    def test_first_event_in_tuple_order_wins(self):
+        events = (
+            _event(0, 100, 1.0e6, ("K",), name="a"),
+            _event(50, 150, 2.0e6, ("K",), name="b"),
+        )
+        assert active_event(events, 75.0) is events[0]
+        assert active_event_index(events, np.array([75.0]))[0] == 0
+        # Swapping tuple order swaps the winner in the overlap.
+        swapped = (events[1], events[0])
+        assert active_event(swapped, 75.0) is events[1]
+        assert active_event_index(swapped, np.array([75.0]))[0] == 0
+
+
+class TestZeroLengthIntervals:
+    def test_never_active(self):
+        event = _event(1000, 1000, 5.0e6, ("K",))
+        assert attack_rate((event,), "K", 1000.0) == 0.0
+        assert active_event((event,), 1000.0) is None
+        ts = np.array([999.0, 1000.0, 1001.0])
+        assert attack_rates((event,), "K", ts).tolist() == [0.0, 0.0, 0.0]
+        assert active_event_index((event,), ts).tolist() == [-1, -1, -1]
+
+    def test_backwards_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(1000, 999)
+
+
+@st.composite
+def event_grids(draw):
+    """Random events over a small window, letters drawn from A/K/L."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    events = []
+    for i in range(n):
+        start = draw(st.integers(min_value=0, max_value=900))
+        length = draw(st.integers(min_value=0, max_value=400))
+        rate = draw(
+            st.floats(min_value=1.0, max_value=1e7,
+                      allow_nan=False, allow_infinity=False)
+        )
+        letters = draw(
+            st.sets(st.sampled_from(["A", "K", "L"]), min_size=1)
+        )
+        events.append(
+            _event(start, start + length, rate, tuple(sorted(letters)),
+                   name=f"ev{i}")
+        )
+    return tuple(events)
+
+
+class TestVectorisedEquivalence:
+    @given(events=event_grids(), data=st.data())
+    def test_rates_bitwise_equal_scalar(self, events, data):
+        ts = np.array(
+            data.draw(
+                st.lists(
+                    st.floats(min_value=-100.0, max_value=1500.0,
+                              allow_nan=False),
+                    min_size=1, max_size=32,
+                )
+            )
+        )
+        for letter in ("A", "K", "L"):
+            vec = attack_rates(events, letter, ts)
+            scalar = np.array(
+                [attack_rate(events, letter, float(t)) for t in ts]
+            )
+            # Bitwise equality, not approx: the batched engine relies
+            # on the same accumulation order as the scalar kernel.
+            assert np.array_equal(vec, scalar)
+
+    @given(events=event_grids(), data=st.data())
+    def test_active_index_matches_scalar(self, events, data):
+        ts = np.array(
+            data.draw(
+                st.lists(
+                    st.floats(min_value=-100.0, max_value=1500.0,
+                              allow_nan=False),
+                    min_size=1, max_size=32,
+                )
+            )
+        )
+        idx = active_event_index(events, ts)
+        for i, t in enumerate(ts):
+            event = active_event(events, float(t))
+            want = -1 if event is None else events.index(event)
+            assert idx[i] == want

@@ -191,6 +191,14 @@ def _assert_same_routes(actual, expected):
 class TestDeltaWiring:
     """routing() derives fresh states from cached tables via deltas."""
 
+    @pytest.fixture(autouse=True)
+    def _force_delta_eligible(self, monkeypatch):
+        # The toy graphs here sit far below the size cutoff where the
+        # delta path pays off; drop it so the wiring stays exercised.
+        from repro.netsim import anycast as anycast_module
+
+        monkeypatch.setattr(anycast_module, "DELTA_MIN_NODES", 0)
+
     def test_state_changes_are_delta_derived(self, prefix):
         before = PREFIX_CACHE_STATS["delta_derived"]
         prefix.routing()                                   # cold: full
@@ -232,6 +240,20 @@ class TestDeltaWiring:
         prefix.withdraw("A", timestamp=1.0)    # must not replay from it
         full = propagate(prefix.graph, [prefix.origin("B")])
         _assert_same_routes(prefix.routing(), full)
+
+
+class TestDeltaSizeCutoff:
+    def test_small_graphs_skip_the_delta_path(self, prefix):
+        # Under the default DELTA_MIN_NODES cutoff a 5-node graph
+        # always propagates in full; outputs stay identical.
+        before = PREFIX_CACHE_STATS["delta_derived"]
+        prefix.routing()
+        prefix.withdraw("A", timestamp=1.0)
+        table = prefix.routing()
+        assert PREFIX_CACHE_STATS["delta_derived"] == before
+        _assert_same_routes(
+            table, propagate(prefix.graph, [prefix.origin("B")])
+        )
 
 
 class TestSharedMemo:

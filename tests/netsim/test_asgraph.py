@@ -129,14 +129,18 @@ class TestCompiledGraph:
         compiled = triangle.compiled()
         assert compiled.rows_of([3, 1, 99, 2]).tolist() == [2, 0, -1, 1]
 
-    def test_distance_cache_keyed_on_version(self, triangle):
+    def test_distance_cache_keyed_on_node_count(self, triangle):
         row = triangle.distance_row(1, Location(0, 0), 1.0)
         assert triangle.distance_row(1, Location(0, 0), 1.0) is row
-        # A structure change must drop memoized rows even though the
-        # node count is unchanged by a link-only edit.
+        # Distances depend only on node locations, which are immutable
+        # and append-only -- a link-only edit keeps the memo warm.
         triangle.add_link(1, 3, Relationship.PROVIDER)
+        assert triangle.distance_row(1, Location(0, 0), 1.0) is row
+        # Growing the node set invalidates the stale-length row.
+        triangle.add_as(_node(4, lat=10.0))
         fresh = triangle.distance_row(1, Location(0, 0), 1.0)
         assert fresh is not row
+        assert fresh.shape == (4,)
 
 
 class TestValidate:

@@ -289,6 +289,27 @@ class TestChangesFromEdgeCases:
         empty_b = RoutingTable({})
         assert empty_a.changes_from(empty_b) == set()
 
+    def test_across_graph_growth(self, impl):
+        # Tables compiled before and after the (append-only) graph
+        # grew must diff like the dict walk: new reached ASes count as
+        # changed, shared rows compare by route.
+        graph = _chain_graph()
+        origins = [Origin(site="A", asn=1)]
+        before = impl(graph, origins)
+        graph.add_as(_node(5))
+        graph.add_link(5, 3, Relationship.PROVIDER)
+        after = impl(graph, origins)
+        assert after.changes_from(before) == {5}
+        assert before.changes_from(after) == {5}
+        # And against an unrelated state on the grown graph.
+        moved = impl(graph, [Origin(site="B", asn=4)])
+        dict_diff = {
+            asn
+            for asn in moved._routes.keys() | before._routes.keys()
+            if moved._routes.get(asn) != before._routes.get(asn)
+        }
+        assert moved.changes_from(before) == dict_diff
+
 
 def _valley_free(graph, path):
     """Check a path is valley-free reading origin -> receiver."""

@@ -1,0 +1,149 @@
+"""Segment-batched engine vs. the per-bin reference path.
+
+``run_batched`` (REPRO_ENGINE_BATCH=1, the default) partitions the
+window into contiguous segments and evaluates whole ``(bins, sites)``
+matrices at once; REPRO_ENGINE_BATCH=0 keeps the original one-bin-at-
+a-time loop.  The two must be *bit-identical* on every simulated
+output -- these tests drive randomized event grids, faults, .nl
+recording, and defense controllers through both paths and diff every
+array.  Any mismatch means the batching changed simulation semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ScenarioConfig, simulate
+from repro.attack import AttackEvent
+from repro.defense.controllers import GreedyShedController
+from repro.faults import (
+    BgpSessionReset,
+    FaultPlan,
+    PeerChurn,
+    SiteFailure,
+    VpDropout,
+)
+from repro.scenario.arrays import diff_arrays, result_arrays
+from repro.util import Interval
+from repro.util.env import ENGINE_BATCH
+from repro.util.timegrid import EVENT_WINDOW_START as W
+
+HOUR = 3600
+
+
+def _config(**overrides):
+    base = dict(
+        seed=11,
+        n_stubs=80,
+        n_vps=50,
+        letters=("A", "K"),
+        include_nl=False,
+        window_seconds=12 * HOUR,
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+def _event(name, start, end, rate, targets):
+    return AttackEvent(
+        name=name,
+        interval=Interval(start, end),
+        qname=f"{name}.example.",
+        rate_qps=rate,
+        targets=targets,
+        query_wire_bytes=84,
+    )
+
+
+def _random_events(rng, letters, window_seconds):
+    """A small random grid of events: off-bin boundaries, overlapping
+    targets, and rates spanning quiet to overload."""
+    events = []
+    for i in range(int(rng.integers(1, 4))):
+        start = W + int(rng.integers(0, window_seconds - HOUR))
+        length = int(rng.integers(600, 4 * HOUR))
+        rate = float(10.0 ** rng.uniform(5.0, 6.9))
+        k = int(rng.integers(1, len(letters) + 1))
+        targets = tuple(
+            sorted(rng.choice(letters, size=k, replace=False).tolist())
+        )
+        events.append(_event(f"ev{i}", start, start + length, rate, targets))
+    return tuple(events)
+
+
+def _assert_equivalent(config, monkeypatch):
+    monkeypatch.setenv(ENGINE_BATCH, "1")
+    batched = simulate(config)
+    monkeypatch.setenv(ENGINE_BATCH, "0")
+    reference = simulate(config)
+    mismatches = diff_arrays(
+        result_arrays(batched), result_arrays(reference)
+    )
+    assert not mismatches, mismatches
+    assert batched.quality == reference.quality
+
+
+class TestBatchedEquivalence:
+    def test_quiet_window(self, monkeypatch):
+        """No events at all: one maximal segment per epoch."""
+        _assert_equivalent(_config(events=()), monkeypatch)
+
+    def test_default_events(self, monkeypatch):
+        """The paper's Nov 30 event inside a 12 h window."""
+        _assert_equivalent(_config(seed=3), monkeypatch)
+
+    def test_bin_boundary_and_mid_bin_events(self, monkeypatch):
+        """Events starting exactly on a bin edge and mid-bin, plus a
+        zero-length interval (never active) on the same letter."""
+        events = (
+            _event("edge", W + 2 * HOUR, W + 4 * HOUR, 4.0e6, ("K",)),
+            _event("midbin", W + 5 * HOUR + 300, W + 6 * HOUR + 42,
+                   2.5e6, ("A", "K")),
+            _event("empty", W + 3 * HOUR, W + 3 * HOUR, 1.0e6, ("K",)),
+        )
+        _assert_equivalent(_config(events=events), monkeypatch)
+
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_random_event_grids(self, seed, monkeypatch):
+        rng = np.random.default_rng(seed)
+        events = _random_events(rng, ("A", "K"), 12 * HOUR)
+        _assert_equivalent(
+            _config(seed=seed, events=events), monkeypatch
+        )
+
+    def test_with_nl_service(self, monkeypatch):
+        """.nl recording rides the batched path via record_bins."""
+        _assert_equivalent(
+            _config(seed=5, include_nl=True), monkeypatch
+        )
+
+    def test_with_faults(self, monkeypatch):
+        """Fault bins break segments; the faulted bins replay the
+        reference arithmetic exactly."""
+        plan = FaultPlan(
+            specs=(
+                SiteFailure(
+                    letter="K", site="AMS", start=W + 3 * HOUR,
+                    duration_s=HOUR, severity=1.0,
+                ),
+                BgpSessionReset(
+                    letter="K", site="LHR", start=W + 5 * HOUR,
+                    duration_s=1800,
+                ),
+                VpDropout(
+                    start=W + 7 * HOUR, duration_s=HOUR, fraction=0.5
+                ),
+                PeerChurn(
+                    start=W + 2 * HOUR, duration_s=HOUR, fraction=0.5
+                ),
+            )
+        )
+        _assert_equivalent(_config(seed=9, faults=plan), monkeypatch)
+
+    def test_controllers_force_reference_path(self, monkeypatch):
+        """Pluggable controllers observe per-bin state mid-loop, so
+        both env settings must take the per-bin fallback and agree."""
+        config = _config(
+            seed=13,
+            controllers={"K": GreedyShedController(calm_bins=2)},
+        )
+        _assert_equivalent(config, monkeypatch)
